@@ -1,0 +1,18 @@
+"""Benchmark configuration.
+
+Each benchmark runs its experiment once (``pedantic(rounds=1)``): the
+experiments are full compile+simulate pipelines, and the in-process
+comparison cache (:mod:`repro.experiments.common`) is shared across
+benchmarks in the session, so the 12-app comparison is paid once.
+"""
+
+import pytest
+
+#: Apps used by the heavy parameter sweeps (window sizes, mode grids):
+#: two strong splitters and the star-preferring Cholesky as the control.
+SWEEP_APPS = ["barnes", "cholesky", "radix"]
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

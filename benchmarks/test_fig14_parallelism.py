@@ -1,0 +1,16 @@
+"""Figure 14 benchmark: degree of subcomputation parallelism."""
+
+from conftest import run_once
+
+from repro.experiments import fig14_parallelism
+
+
+def test_fig14(benchmark):
+    result = run_once(benchmark, fig14_parallelism.run)
+    print()
+    print(result.report())
+    # Shape: split apps exceed degree 1 (real intra-statement parallelism);
+    # every app reports at least the trivial degree.
+    values = result.parallelism
+    assert all(avg >= 1.0 and worst >= 1 for avg, worst in values.values())
+    assert any(worst >= 2 for _, worst in values.values())

@@ -1,0 +1,17 @@
+"""Figure 15 benchmark: synchronizations per statement."""
+
+from conftest import run_once
+
+from repro.experiments import fig15_syncs
+
+
+def test_fig15(benchmark):
+    result = run_once(benchmark, fig15_syncs.run)
+    print()
+    print(result.report())
+    for app, (minimized, unminimized) in result.syncs.items():
+        assert 0.0 <= minimized <= unminimized
+    # The transitive-closure minimization has visible effect somewhere, or
+    # there are no redundant arcs at all (both acceptable); syncs stay
+    # bounded (paper: a few per statement at most).
+    assert all(m <= 8 for m, _ in result.syncs.values())

@@ -1,0 +1,18 @@
+"""Figure 16 benchmark: L1 hit-rate improvement."""
+
+from conftest import run_once
+
+from repro.experiments import fig16_l1
+
+
+def test_fig16(benchmark):
+    result = run_once(benchmark, fig16_l1.run)
+    print()
+    print(result.report())
+    # Shape: hit rates are valid probabilities and the split schedules keep
+    # L1 behaviour within a few points of the locality-optimized default
+    # while eliminating most of its network traffic (Fig 13).
+    for app in result.improvement:
+        assert 0.0 <= result.default_rate[app] <= 1.0
+        assert 0.0 <= result.optimized_rate[app] <= 1.0
+        assert result.improvement[app] >= -0.12

@@ -1,0 +1,19 @@
+"""Figure 17 benchmark: execution-time reduction vs ideal scenarios."""
+
+from conftest import run_once
+
+from repro.experiments import fig17_exec_time
+
+
+def test_fig17(benchmark):
+    result = run_once(benchmark, fig17_exec_time.run)
+    print()
+    print(result.report())
+    reductions = result.reductions
+    # Shape: never negative (gate), several substantial winners, and the
+    # ideal scenarios bound our result from above per application.
+    assert all(ours >= -0.02 for ours, _, _ in reductions.values())
+    assert sum(1 for ours, _, _ in reductions.values() if ours > 0.10) >= 3
+    for ours, ideal_net, ideal_ana in reductions.values():
+        assert ideal_net >= ours - 1e-9
+        assert ideal_ana >= ours - 1e-9

@@ -1,0 +1,17 @@
+"""Figure 18 benchmark: per-metric contribution (S1..S4)."""
+
+from conftest import run_once
+
+from repro.experiments import fig18_isolation
+
+
+def test_fig18(benchmark):
+    result = run_once(benchmark, fig18_isolation.run)
+    print()
+    print(result.report())
+    s1, s2, s3, s4 = result.geomeans()
+    # Shape (paper): movement (S2) and parallelism (S3) help; sync costs
+    # (S4) alone can only hurt the default.
+    assert s2 >= 0.95
+    assert s3 >= 1.0
+    assert s4 <= 1.0 + 1e-9

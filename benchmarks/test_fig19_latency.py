@@ -1,0 +1,15 @@
+"""Figure 19 benchmark: NoC latency reduction (no added congestion)."""
+
+from conftest import run_once
+
+from repro.experiments import fig19_latency
+
+
+def test_fig19(benchmark):
+    result = run_once(benchmark, fig19_latency.run)
+    print()
+    print(result.report())
+    # Shape: the optimization never creates a network bottleneck — the
+    # split applications reduce average latency; nobody regresses much.
+    assert all(avg >= -0.10 for avg, _ in result.reductions.values())
+    assert any(avg > 0.05 for avg, _ in result.reductions.values())

@@ -1,0 +1,17 @@
+"""Figure 20 benchmark: fixed window sizes 1..8 vs the adaptive choice."""
+
+from conftest import SWEEP_APPS, run_once
+
+from repro.experiments import fig20_window
+
+
+def test_fig20(benchmark):
+    result = run_once(benchmark, lambda: fig20_window.run(apps=SWEEP_APPS))
+    print()
+    print(result.report())
+    for app, values in result.reductions.items():
+        fixed = [values[str(s)] for s in range(1, 9)]
+        adaptive = values["adaptive"]
+        # Shape: the adaptive per-nest choice is competitive with the best
+        # fixed size (paper: it beats it; we allow small sampling slack).
+        assert adaptive >= max(fixed) - 0.08

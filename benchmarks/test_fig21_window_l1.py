@@ -1,0 +1,14 @@
+"""Figure 21 benchmark: L1 hit rate across window sizes."""
+
+from conftest import SWEEP_APPS, run_once
+
+from repro.experiments import fig21_window_l1
+
+
+def test_fig21(benchmark):
+    result = run_once(benchmark, lambda: fig21_window_l1.run(apps=SWEEP_APPS))
+    print()
+    print(result.report())
+    # Shape: hit-rate deltas stay in a sane band across all sizes.
+    for values in result.improvements.values():
+        assert all(-0.5 <= delta <= 0.5 for delta in values.values())

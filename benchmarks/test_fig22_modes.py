@@ -1,0 +1,20 @@
+"""Figure 22 benchmark: cluster mode x memory mode grid."""
+
+from conftest import SWEEP_APPS, run_once
+
+from repro.experiments import fig22_modes
+
+
+def test_fig22(benchmark):
+    result = run_once(benchmark, lambda: fig22_modes.run(apps=SWEEP_APPS))
+    print()
+    print(result.report())
+    # Paper's observations on the grid:
+    for cluster in "ABC":
+        for memory in "XY":
+            original = result.geomean_for((cluster, memory, 1))
+            optimized = result.geomean_for((cluster, memory, 2))
+            # (1) the optimization helps (or at worst matches) everywhere.
+            assert optimized >= original * 0.97
+    # (3) flat memory beats cache mode for the optimized code.
+    assert result.geomean_for(("B", "X", 2)) >= result.geomean_for(("B", "Y", 2)) * 0.9

@@ -1,0 +1,21 @@
+"""Figure 23 benchmark: computation mapping vs data-to-MC mapping."""
+
+from conftest import run_once
+
+from repro.experiments import fig23_data_mapping
+
+
+def test_fig23(benchmark):
+    result = run_once(benchmark, fig23_data_mapping.run)
+    print()
+    print(result.report())
+    # Shape (paper): on the applications where computation mapping acts, it
+    # beats data mapping alone, and the combination never does much worse
+    # than either ingredient.  Arithmetic means are robust to the gated
+    # zeros (geometric means floor at ~0).
+    ours = [r[0] for r in result.reductions.values()]
+    data = [r[1] for r in result.reductions.values()]
+    combined = [r[2] for r in result.reductions.values()]
+    mean = lambda xs: sum(xs) / len(xs)
+    assert mean(ours) >= mean(data) - 0.05
+    assert mean(combined) >= mean(data) - 0.05

@@ -1,0 +1,18 @@
+"""Figure 24 benchmark: energy reduction."""
+
+from conftest import run_once
+
+from repro.experiments import fig24_energy
+
+
+def test_fig24(benchmark):
+    result = run_once(benchmark, fig24_energy.run)
+    print()
+    print(result.report())
+    reductions = result.reductions
+    # Shape: no app burns more energy; the movement winners save real
+    # energy; ideal scenarios bound ours from above.
+    assert all(ours >= -0.02 for ours, _, _ in reductions.values())
+    assert any(ours > 0.05 for ours, _, _ in reductions.values())
+    for ours, net, ana in reductions.values():
+        assert net >= ours - 1e-9 and ana >= ours - 1e-9

@@ -1,0 +1,17 @@
+"""Table 1 benchmark: compile-time-analyzable reference fractions."""
+
+from conftest import run_once
+
+from repro.experiments import table1_analyzable
+
+
+def test_table1(benchmark):
+    result = run_once(benchmark, table1_analyzable.run)
+    print()
+    print(result.report())
+    # Shape: every app between 60% and 100%, Cholesky the most analyzable
+    # of the Splash-2 set, Barnes the least (heaviest indirect access).
+    fractions = result.fractions
+    assert all(0.6 <= f <= 1.0 for f in fractions.values())
+    assert fractions["cholesky"] == max(fractions.values())
+    assert fractions["barnes"] == min(fractions.values())

@@ -1,0 +1,13 @@
+"""Table 2 benchmark: L2 hit/miss predictor accuracy."""
+
+from conftest import run_once
+
+from repro.experiments import table2_predictor
+
+
+def test_table2(benchmark):
+    result = run_once(benchmark, table2_predictor.run)
+    print()
+    print(result.report())
+    # Shape: accuracies in the paper's 60-95% band for every application.
+    assert all(0.55 <= a <= 1.0 for a in result.accuracy.values())

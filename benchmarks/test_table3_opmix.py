@@ -1,0 +1,18 @@
+"""Table 3 benchmark: operator mix of re-mapped computations."""
+
+from conftest import run_once
+
+from repro.experiments import table3_opmix
+
+
+def test_table3(benchmark):
+    result = run_once(benchmark, table3_opmix.run)
+    print()
+    print(result.report())
+    for app, mix in result.mixes.items():
+        total = sum(mix.values())
+        # Apps that re-map nothing report an all-zero mix; the rest sum to 1.
+        assert total == 0 or abs(total - 1.0) < 1e-6
+    # At least a third of the suite re-maps computations.
+    active = [m for m in result.mixes.values() if sum(m.values()) > 0]
+    assert len(active) >= 4

@@ -1,0 +1,32 @@
+"""KNL cluster-of-operation modes (paper Section 6.1).
+
+The modes differ in the relative placement of (1) the tile missing in L2,
+(2) the tag directory / home bank owning the address, and (3) the memory
+that supplies the block:
+
+* ``ALL_TO_ALL`` — addresses uniformly hashed over all memory; an L2 miss
+  may travel to any controller, so off-chip accesses cross long distances.
+* ``QUADRANT`` — the home bank and the serving controller sit in the same
+  mesh quadrant, shortening the bank->MC leg.
+* ``SNC4`` — requester, home bank, and controller are all in the same
+  quadrant (the mesh behaves like 4 NUMA sub-domains).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class ClusterMode(enum.Enum):
+    """The three KNL clustering modes; values match Fig 22's A/B/C labels."""
+
+    ALL_TO_ALL = "A"
+    QUADRANT = "B"
+    SNC4 = "C"
+
+    @property
+    def label(self) -> str:
+        return self.value
+
+    def __str__(self) -> str:
+        return self.name

@@ -1,0 +1,55 @@
+"""Machine presets.
+
+:func:`knl_machine` mirrors the paper's evaluation platform: Intel Knights
+Landing — 36 tiles on a 6x6 mesh, 1MB L2 bank per tile, 32KB L1 per core,
+MCDRAM + DDR4 (Section 6.1).  We model one core per tile (the partitioner
+reasons about tiles/nodes; the second core per tile does not change any
+distance).  :func:`small_machine` is a 4x4 mesh used by tests and examples
+where exhaustive checking should stay cheap.
+"""
+
+from __future__ import annotations
+
+from repro.arch.cluster_modes import ClusterMode
+from repro.arch.machine import Machine, MachineConfig
+from repro.arch.memory_modes import MemoryMode
+
+
+def knl_machine(
+    cluster_mode: ClusterMode = ClusterMode.QUADRANT,
+    memory_mode: MemoryMode = MemoryMode.FLAT,
+) -> Machine:
+    """A KNL-like 6x6-tile machine (the paper's default is quadrant+flat)."""
+    return Machine(
+        MachineConfig(
+            mesh_cols=6,
+            mesh_rows=6,
+            l2_bank_count=32,
+            l1_capacity=32 * 1024,
+            l2_bank_capacity=1 << 20,
+            cluster_mode=cluster_mode,
+            memory_mode=memory_mode,
+        )
+    )
+
+
+def small_machine(
+    cluster_mode: ClusterMode = ClusterMode.QUADRANT,
+    memory_mode: MemoryMode = MemoryMode.FLAT,
+    l1_capacity: int = 4 * 1024,
+) -> Machine:
+    """A 4x4-mesh machine with 16 banks for tests and quick examples."""
+    return Machine(
+        MachineConfig(
+            mesh_cols=4,
+            mesh_rows=4,
+            l2_bank_count=16,
+            l1_capacity=l1_capacity,
+            l1_associativity=4,
+            l2_bank_capacity=64 * 1024,
+            l2_associativity=8,
+            cluster_mode=cluster_mode,
+            memory_mode=memory_mode,
+            mcdram_capacity_bytes=1 << 26,
+        )
+    )

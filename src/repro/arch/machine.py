@@ -1,0 +1,213 @@
+"""The manycore machine template (paper Section 2 + Section 6.1).
+
+A :class:`Machine` bundles the mesh, the physical address mapping, the data
+layout of program arrays, the cache geometry, the memory controllers, and
+the active cluster/memory modes, and answers the two location questions the
+partitioner asks:
+
+* :meth:`home_node` — which mesh node's L2 bank is the SNUCA home of an
+  array element (``GetNode`` when the predictor says "on chip").
+* :meth:`mc_node` — which controller node serves the element on an L2 miss
+  (``GetNode`` when the predictor says "miss"), which depends on the
+  cluster mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.arch.cluster_modes import ClusterMode
+from repro.arch.memory_modes import McdramModel, MemoryMode
+from repro.cache.sram import CacheConfig
+from repro.errors import ConfigurationError
+from repro.mem.address import AddressMapping
+from repro.mem.layout import DataLayout
+from repro.noc.topology import Coord, Mesh2D
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Static configuration of a machine instance."""
+
+    mesh_cols: int = 6
+    mesh_rows: int = 6
+    l2_bank_count: int = 32
+    mc_channel_count: int = 4
+    l1_capacity: int = 32 * 1024
+    l1_associativity: int = 8
+    l2_bank_capacity: int = 1 << 20  # 1MB per tile, as on KNL
+    l2_associativity: int = 16
+    line_size: int = 64
+    cluster_mode: ClusterMode = ClusterMode.QUADRANT
+    memory_mode: MemoryMode = MemoryMode.FLAT
+    mcdram_capacity_bytes: int = 16 * (1 << 30)
+
+    def __post_init__(self):
+        if self.l2_bank_count > self.mesh_cols * self.mesh_rows:
+            raise ConfigurationError("more L2 banks than mesh nodes")
+        if self.mc_channel_count != 4:
+            raise ConfigurationError(
+                "the template attaches MCs to the 4 corners; channel count must be 4"
+            )
+
+
+class Machine:
+    """A configured manycore chip: geometry + mapping + modes.
+
+    The machine owns a :class:`~repro.mem.layout.DataLayout`; workloads
+    declare their arrays through :meth:`declare_array` and the partitioner /
+    simulator then resolve element locations through the machine.
+    """
+
+    def __init__(self, config: MachineConfig = MachineConfig()):
+        self.config = config
+        self.mesh = Mesh2D(config.mesh_cols, config.mesh_rows)
+        self.mapping = AddressMapping.default(
+            bank_count=config.l2_bank_count, channel_count=config.mc_channel_count
+        )
+        self.layout = DataLayout(self.mapping)
+        self.l1_config = CacheConfig(
+            config.l1_capacity, config.l1_associativity, config.line_size
+        )
+        self.l2_config = CacheConfig(
+            config.l2_bank_capacity, config.l2_associativity, config.line_size
+        )
+        # L2 banks are placed on the first bank_count nodes in id order; on
+        # the KNL preset (6x6 mesh, 32 banks) the 4 bankless nodes are the
+        # top row's interior, mirroring KNL tiles without active banks.
+        self.bank_to_node: List[int] = list(range(config.l2_bank_count))
+        # DDR memory controllers at the corners (template, Figure 1); the
+        # channel index orders them deterministically.
+        self.mc_nodes: List[int] = list(self.mesh.corner_ids())
+        # MCDRAM EDCs at the midpoints of the four mesh edges.
+        self.edc_nodes: List[int] = self._edge_midpoints()
+        self.mcdram = McdramModel(
+            mode=config.memory_mode,
+            mcdram_capacity_bytes=config.mcdram_capacity_bytes,
+            line_size=config.line_size,
+        )
+        self._access_profile: Dict[str, float] = {}
+
+    # -- array declaration & profile ---------------------------------------
+
+    def declare_array(
+        self,
+        name: str,
+        length: int,
+        element_size: int = 8,
+        bank_phase: Optional[int] = None,
+    ) -> None:
+        """Register a program array with the machine's data layout."""
+        self.layout.declare(name, length, element_size, bank_phase)
+
+    def record_profile(self, access_counts: Dict[str, float]) -> None:
+        """Feed per-array access counts (the VTune step) and re-place MCDRAM."""
+        self._access_profile = dict(access_counts)
+        array_bytes = {s.name: s.byte_size for s in self.layout.arrays()}
+        self.mcdram.place_flat(array_bytes, self._access_profile)
+
+    # -- geometry ------------------------------------------------------------
+
+    @property
+    def node_count(self) -> int:
+        return self.mesh.node_count
+
+    def distance(self, a: int, b: int) -> int:
+        """Manhattan distance between two node ids."""
+        return self.mesh.distance(a, b)
+
+    def node_of_bank(self, bank: int) -> int:
+        return self.bank_to_node[bank % len(self.bank_to_node)]
+
+    # -- data location (GetNode substrate) ------------------------------------
+
+    def home_node(self, name: str, index: int, owner_hint: Optional[int] = None) -> int:
+        """Mesh node whose L2 bank is the SNUCA home of ``name[index]``.
+
+        In SNC-4 mode the page is homed inside its owner's quadrant: the
+        owner is ``owner_hint`` when given, else the default block
+        distribution's owner of the element.  In the other modes the home is
+        the global SNUCA bank of the physical address.
+        """
+        bank = self.layout.l2_bank_of(name, index)
+        node = self.node_of_bank(bank)
+        if self.config.cluster_mode is ClusterMode.SNC4:
+            owner = owner_hint if owner_hint is not None else self.default_owner(name, index)
+            node = self._remap_into_quadrant(node, self.mesh.quadrant_of(owner))
+        return node
+
+    def mc_node(self, name: str, index: int, requester: Optional[int] = None) -> int:
+        """Controller node that serves an L2 miss on ``name[index]``.
+
+        Flat-MCDRAM-resident arrays are served by the nearest EDC to the home
+        bank; otherwise the DDR controller chosen by the cluster mode:
+        all-to-all hashes over all 4 corners, quadrant/SNC-4 use the corner
+        of the home bank's quadrant.
+        """
+        home = self.home_node(name, index, owner_hint=requester)
+        if self.mcdram.in_flat_mcdram(name):
+            return min(self.edc_nodes, key=lambda e: (self.distance(home, e), e))
+        if self.config.cluster_mode is ClusterMode.ALL_TO_ALL:
+            channel = self.layout.channel_of(name, index)
+            return self.mc_nodes[channel % len(self.mc_nodes)]
+        quadrant = self.mesh.quadrant_of(home)
+        return self._corner_of_quadrant(quadrant)
+
+    def memory_access_cycles(self, name: str, index: int) -> float:
+        """DRAM-side latency of a miss on ``name[index]`` (mode dependent)."""
+        block = self.layout.block_of(name, index)
+        return self.mcdram.access_cycles(name, block)
+
+    def memory_access_energy_pj(self, name: str) -> float:
+        return self.mcdram.access_energy_pj(name)
+
+    def default_owner(self, name: str, index: int) -> int:
+        """Node owning the element under a block distribution of the array.
+
+        Used as the SNC-4 first-touch owner and by baselines.
+        """
+        length = self.layout.spec(name).length
+        return min(index * self.node_count // max(length, 1), self.node_count - 1)
+
+    # -- helpers --------------------------------------------------------------
+
+    def _edge_midpoints(self) -> List[int]:
+        mesh = self.mesh
+        mid_x = mesh.cols // 2
+        mid_y = mesh.rows // 2
+        coords = [
+            Coord(mid_x, 0),
+            Coord(0, mid_y),
+            Coord(mesh.cols - 1, mid_y),
+            Coord(mid_x, mesh.rows - 1),
+        ]
+        return sorted({mesh.id_of(c) for c in coords})
+
+    def _corner_of_quadrant(self, quadrant: int) -> int:
+        """The corner MC inside ``quadrant`` (corners are one per quadrant)."""
+        for mc in self.mc_nodes:
+            if self.mesh.quadrant_of(mc) == quadrant:
+                return mc
+        # Degenerate 1xN meshes may have fewer distinct corners; fall back.
+        return self.mc_nodes[quadrant % len(self.mc_nodes)]
+
+    def _remap_into_quadrant(self, node: int, quadrant: int) -> int:
+        """Project ``node`` onto the same relative position inside ``quadrant``."""
+        half_x = max(self.mesh.cols // 2, 1)
+        half_y = max(self.mesh.rows // 2, 1)
+        c = self.mesh.coord_of(node)
+        qx, qy = quadrant % 2, quadrant // 2
+        new = Coord(
+            (c.x % half_x) + qx * half_x,
+            (c.y % half_y) + qy * half_y,
+        )
+        if not self.mesh.contains(new):  # odd dimensions edge case
+            new = Coord(min(new.x, self.mesh.cols - 1), min(new.y, self.mesh.rows - 1))
+        return self.mesh.id_of(new)
+
+    def __repr__(self) -> str:
+        return (
+            f"Machine({self.mesh.cols}x{self.mesh.rows}, "
+            f"{self.config.cluster_mode.name}, {self.config.memory_mode.name})"
+        )

@@ -1,0 +1,118 @@
+"""KNL memory modes: flat / cache / hybrid MCDRAM (paper Section 6.1).
+
+* ``FLAT`` — MCDRAM and DDR4 are both addressable; the toolchain decides
+  per-array placement (the paper uses a VTune-style profile; we rank arrays
+  by access count and pack the hottest into MCDRAM — see
+  :meth:`McdramModel.place_flat`).
+* ``CACHE`` — MCDRAM is a direct-mapped memory-side cache in front of DDR4.
+* ``HYBRID`` — half the MCDRAM capacity is cache, half is flat memory
+  (the paper uses a 50/50 split; so do we).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.mem.dram import DDR4_PARAMS, MCDRAM_PARAMS, DramParams
+
+
+class MemoryMode(enum.Enum):
+    """The three KNL memory modes; values match Fig 22's X/Y/Z labels."""
+
+    FLAT = "X"
+    CACHE = "Y"
+    HYBRID = "Z"
+
+    @property
+    def label(self) -> str:
+        return self.value
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass
+class McdramModel:
+    """Behavioural model of the MCDRAM under a given memory mode.
+
+    ``mcdram_capacity_bytes`` defaults to 16GB (KNL).  In flat/hybrid modes
+    :meth:`place_flat` fills the flat portion with the hottest arrays; in
+    cache/hybrid modes the memory-side cache is modelled as a direct-mapped
+    tag array over block numbers.
+    """
+
+    mode: MemoryMode = MemoryMode.FLAT
+    mcdram_capacity_bytes: int = 16 * (1 << 30)
+    mcdram: DramParams = MCDRAM_PARAMS
+    ddr: DramParams = DDR4_PARAMS
+    line_size: int = 64
+    _flat_arrays: Set[str] = field(default_factory=set)
+    _tags: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def flat_capacity(self) -> int:
+        """Bytes of MCDRAM exposed as flat memory."""
+        if self.mode is MemoryMode.FLAT:
+            return self.mcdram_capacity_bytes
+        if self.mode is MemoryMode.HYBRID:
+            return self.mcdram_capacity_bytes // 2
+        return 0
+
+    @property
+    def cache_capacity(self) -> int:
+        """Bytes of MCDRAM acting as memory-side cache."""
+        return self.mcdram_capacity_bytes - self.flat_capacity
+
+    def place_flat(self, array_bytes: Dict[str, int], hotness: Dict[str, float]) -> Set[str]:
+        """Choose which arrays live in flat MCDRAM.
+
+        Greedy by ``hotness`` (profile access counts) until the flat capacity
+        is exhausted — the three-step VTune procedure of Section 6.1 reduced
+        to its decision.  Returns (and remembers) the chosen array names.
+        """
+        self._flat_arrays = set()
+        budget = self.flat_capacity
+        ranked = sorted(array_bytes, key=lambda a: (-hotness.get(a, 0.0), a))
+        for name in ranked:
+            if array_bytes[name] <= budget:
+                self._flat_arrays.add(name)
+                budget -= array_bytes[name]
+        return set(self._flat_arrays)
+
+    def in_flat_mcdram(self, array_name: str) -> bool:
+        return array_name in self._flat_arrays
+
+    def cache_lookup(self, block: int) -> bool:
+        """Direct-mapped memory-side cache access; True on MCDRAM-cache hit."""
+        if self.cache_capacity == 0:
+            return False
+        sets = self.cache_capacity // self.line_size
+        index = block % sets
+        hit = self._tags.get(index) == block
+        self._tags[index] = block
+        return hit
+
+    def access_cycles(self, array_name: str, block: int) -> float:
+        """Memory latency for one access to ``array_name``'s ``block``.
+
+        Flat-resident arrays pay MCDRAM latency; otherwise the cache portion
+        is consulted (hit: MCDRAM; miss: MCDRAM tag check + DDR fill).
+        """
+        if self.in_flat_mcdram(array_name):
+            return self.mcdram.access_cycles
+        if self.cache_capacity and self.cache_lookup(block):
+            return self.mcdram.access_cycles
+        if self.cache_capacity:
+            return self.mcdram.access_cycles * 0.25 + self.ddr.access_cycles
+        return self.ddr.access_cycles
+
+    def access_energy_pj(self, array_name: str) -> float:
+        """Per-access energy for the technology actually serving the array."""
+        if self.in_flat_mcdram(array_name):
+            return self.mcdram.energy_pj_per_access
+        return self.ddr.energy_pj_per_access
+
+    def reset(self) -> None:
+        self._tags.clear()

@@ -1,0 +1,34 @@
+"""Baseline computation placements and ideal scenarios (paper Section 6).
+
+* :mod:`repro.baselines.default_placement` — the paper's "default": a
+  *highly locality-optimized* iteration-granularity placement that assigns
+  each chunk of iterations to the core its profile says is best for LLC/MC
+  locality.  Every improvement the paper (and this reproduction) reports is
+  measured on top of this, not on top of a naive baseline.
+* :mod:`repro.baselines.locality` — the Lu09-like and Ding13-like
+  LLC-locality schemes the default is validated against (Section 6.1).
+* :mod:`repro.baselines.data_mapping` — the profile-based page-to-MC
+  mapping of Figure 23, and its combination with our approach.
+* :mod:`repro.baselines.ideal` — the ideal-network and ideal-data-analysis
+  scenarios of Figure 17.
+"""
+
+from repro.baselines.default_placement import DefaultPlacement, PlacementResult
+from repro.baselines.locality import llc_locality_placement, block_cyclic_placement
+from repro.baselines.data_mapping import profile_page_mc_mapping
+from repro.baselines.ideal import (
+    OracleL2Predictor,
+    ideal_network_config,
+    partition_with_ideal_analysis,
+)
+
+__all__ = [
+    "DefaultPlacement",
+    "PlacementResult",
+    "llc_locality_placement",
+    "block_cyclic_placement",
+    "profile_page_mc_mapping",
+    "OracleL2Predictor",
+    "ideal_network_config",
+    "partition_with_ideal_analysis",
+]

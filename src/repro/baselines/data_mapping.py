@@ -1,0 +1,47 @@
+"""Profile-based data-to-MC page mapping (paper Section 6.5, Figure 23).
+
+For each memory page, record how often each core accesses it (under a given
+computation placement), then map the page to the memory controller
+preferred by the plurality of those cores — a core's preferred MC being its
+nearest corner controller.  The paper notes this is a profile-based scheme
+not implementable at compile time; it is evaluated standalone (second bar of
+Figure 23) and combined with our computation mapping (third bar).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence, Tuple
+
+from repro.arch.machine import Machine
+from repro.core.subcomputation import Subcomputation
+
+
+def preferred_mc(machine: Machine, node: int) -> int:
+    """The corner controller nearest to ``node`` (deterministic ties)."""
+    return min(machine.mc_nodes, key=lambda mc: (machine.distance(node, mc), mc))
+
+
+def profile_page_mc_mapping(
+    machine: Machine, units: Sequence[Subcomputation]
+) -> Dict[int, int]:
+    """page -> MC node mapping from a schedule's access profile.
+
+    ``units`` carry the computation placement (their ``node``) and the
+    accesses (gathered + store); the result plugs into
+    :class:`~repro.sim.engine.SimConfig` as ``mc_override``.
+    """
+    votes: Dict[int, Dict[int, int]] = {}
+    layout = machine.layout
+    for unit in units:
+        accesses = [g.access for g in unit.gathered]
+        if unit.store is not None:
+            accesses.append(unit.store)
+        mc = preferred_mc(machine, unit.node)
+        for access in accesses:
+            page = layout.page_of(access.array, access.index)
+            page_votes = votes.setdefault(page, {})
+            page_votes[mc] = page_votes.get(mc, 0) + 1
+    mapping: Dict[int, int] = {}
+    for page, page_votes in votes.items():
+        mapping[page] = max(sorted(page_votes), key=lambda mc: page_votes[mc])
+    return mapping

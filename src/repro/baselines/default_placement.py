@@ -1,0 +1,173 @@
+"""The paper's default computation placement (Section 6.1).
+
+Iteration-granularity, *locality-optimized*: the iteration space of each
+nest is divided into contiguous chunks; a profile pass records which L2
+banks / memory controllers each chunk references; each chunk is then
+assigned to the node that hosts most of its referenced data ("the most
+beneficial core from an LLC/MC locality viewpoint").  A soft load cap keeps
+pathological profiles from piling every chunk onto one node.
+
+Each statement instance becomes a single subcomputation on its chunk's
+node: the node gathers all inputs, computes, and stores the result — the
+execution model our partitioner is compared against everywhere.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.arch.machine import Machine
+from repro.core.balancer import OP_COSTS, op_cost
+from repro.core.subcomputation import GatheredInput, Subcomputation
+from repro.ir.loop import LoopNest
+from repro.ir.program import Program
+from repro.ir.statement import StatementInstance
+
+
+@dataclass
+class PlacementResult:
+    """An iteration-granularity placement rendered as simulator units."""
+
+    units: List[Subcomputation]
+    node_of_seq: Dict[int, int]
+
+    @property
+    def unit_count(self) -> int:
+        return len(self.units)
+
+    def nodes_used(self) -> int:
+        return len(set(self.node_of_seq.values()))
+
+
+def instance_to_unit(
+    machine: Machine,
+    instance: StatementInstance,
+    node: int,
+    uid: int,
+) -> Subcomputation:
+    """Render one statement instance as a single-node subcomputation."""
+    gathered = []
+    for access in instance.reads:
+        home = machine.home_node(access.array, access.index)
+        gathered.append(
+            GatheredInput(access, home, machine.distance(home, node))
+        )
+    counts = instance.statement.operator_counts()
+    breakdown = tuple(sorted(counts.items()))
+    op_total = sum(counts.values())
+    cost = sum(op_cost(op, n) for op, n in counts.items())
+    return Subcomputation(
+        uid=uid,
+        seq=instance.seq,
+        node=node,
+        op="+",
+        op_count=op_total,
+        cost=cost,
+        gathered=tuple(gathered),
+        sub_results=(),
+        store=instance.write,
+        op_breakdown=breakdown,
+    )
+
+
+def placement_from_assignment(
+    machine: Machine,
+    program: Program,
+    assign: Callable[[StatementInstance], int],
+) -> PlacementResult:
+    """Build a :class:`PlacementResult` from any instance->node function."""
+    program.declare_on(machine)
+    units: List[Subcomputation] = []
+    node_of_seq: Dict[int, int] = {}
+    uid = itertools.count()
+    for instance in program.instances():
+        node = assign(instance)
+        node_of_seq[instance.seq] = node
+        units.append(instance_to_unit(machine, instance, node, next(uid)))
+    return PlacementResult(units, node_of_seq)
+
+
+class DefaultPlacement:
+    """Profile-guided chunk placement (the paper's default strategy)."""
+
+    def __init__(self, machine: Machine, load_cap_factor: float = 2.0):
+        self.machine = machine
+        self.load_cap_factor = load_cap_factor
+
+    def _chunk_preferences(
+        self, program: Program, nest: LoopNest
+    ) -> List[List[int]]:
+        """Per chunk, nodes ranked by referenced-data residency (profile)."""
+        machine = self.machine
+        node_count = machine.node_count
+        chunk_count = min(node_count, max(nest.trip_count, 1))
+        counts = [dict() for _ in range(chunk_count)]  # type: List[Dict[int, int]]
+        trip = nest.trip_count
+        for i, instance in enumerate(program.nest_instances(nest)):
+            iteration_index = i // nest.body_size
+            chunk = min(iteration_index * chunk_count // max(trip, 1), chunk_count - 1)
+            for access in instance.accesses():
+                home = machine.home_node(access.array, access.index)
+                counts[chunk][home] = counts[chunk].get(home, 0) + 1
+        preferences = []
+        for chunk_counts in counts:
+            ranked = sorted(
+                range(node_count),
+                key=lambda n: (-chunk_counts.get(n, 0), n),
+            )
+            preferences.append(ranked)
+        return preferences
+
+    def _assign_chunks(self, preferences: List[List[int]]) -> List[int]:
+        """Greedy profile assignment with a soft per-node load cap."""
+        chunk_count = len(preferences)
+        cap = max(1, int(self.load_cap_factor * chunk_count / self.machine.node_count))
+        load = [0] * self.machine.node_count
+        assignment = []
+        for ranked in preferences:
+            chosen = next((n for n in ranked if load[n] < cap), ranked[0])
+            load[chosen] += 1
+            assignment.append(chosen)
+        return assignment
+
+    def assignment(self, program: Program) -> Dict[int, int]:
+        """Instance seq -> node under the default placement.
+
+        Used both to render the baseline schedule and as the fallback
+        execution node for statements the partitioner decides not to split.
+        """
+        result = self.place(program)
+        return dict(result.node_of_seq)
+
+    def place(self, program: Program) -> PlacementResult:
+        """Place every nest of ``program``; returns simulator-ready units."""
+        program.declare_on(self.machine)
+        # The paper's default toolchain also performs the VTune-guided
+        # MCDRAM placement (Section 6.1); apply it so comparisons against
+        # the optimized version isolate computation mapping only.
+        from repro.core.partitioner import profile_access_counts
+
+        self.machine.record_profile(profile_access_counts(program))
+        chunk_of_nest: Dict[str, Tuple[List[int], int]] = {}
+        for nest in program.nests:
+            preferences = self._chunk_preferences(program, nest)
+            assignment = self._assign_chunks(preferences)
+            chunk_of_nest[nest.name] = (assignment, len(assignment))
+
+        instance_counter: Dict[str, int] = {}
+
+        def assign(instance: StatementInstance) -> int:
+            assignment, chunk_count = chunk_of_nest[instance.nest_name]
+            position = instance_counter.get(instance.nest_name, 0)
+            instance_counter[instance.nest_name] = position + 1
+            nest = next(n for n in program.nests if n.name == instance.nest_name)
+            iteration_index = position // nest.body_size
+            chunk = min(
+                iteration_index * chunk_count // max(nest.trip_count, 1),
+                chunk_count - 1,
+            )
+            return assignment[chunk]
+
+        return placement_from_assignment(self.machine, program, assign)

@@ -1,0 +1,22 @@
+"""Cache substrate: set-associative caches, distributed L2 banks, predictor.
+
+The target architecture (paper Figure 1) gives every mesh node a private L1
+and one bank of the shared SNUCA L2.  The compiler additionally consults an
+L2 hit/miss predictor (Section 4.1, accuracy reported in Table 2): when the
+predictor says a datum misses in L2, the memory controller is used as the
+datum's location in the MST.
+"""
+
+from repro.cache.sram import CacheConfig, SetAssocCache
+from repro.cache.hierarchy import L1Cache, L2Bank, CacheSystem
+from repro.cache.predictor import HitMissPredictor, PredictorStats
+
+__all__ = [
+    "CacheConfig",
+    "SetAssocCache",
+    "L1Cache",
+    "L2Bank",
+    "CacheSystem",
+    "HitMissPredictor",
+    "PredictorStats",
+]

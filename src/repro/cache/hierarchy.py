@@ -1,0 +1,121 @@
+"""Per-node L1 caches and distributed L2 banks.
+
+:class:`CacheSystem` owns one L1 per mesh node and one L2 bank per node
+(SNUCA: a block has exactly one home bank, determined by its physical
+address).  The execution simulator drives these to measure the L1 hit rates
+of Figures 16 and 21; the window scheduler separately *models* L1 contents
+with its ``variable2node_map`` — the simulator is the ground truth that
+model is judged against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.cache.sram import CacheConfig, SetAssocCache
+from repro.errors import ConfigurationError
+
+
+class L1Cache(SetAssocCache):
+    """Private per-core L1 data cache."""
+
+    def __init__(self, node_id: int, config: CacheConfig):
+        super().__init__(config)
+        self.node_id = node_id
+
+
+class L2Bank(SetAssocCache):
+    """One bank of the shared, distributed L2 (the node's slice of SNUCA)."""
+
+    def __init__(self, bank_id: int, node_id: int, config: CacheConfig):
+        super().__init__(config)
+        self.bank_id = bank_id
+        self.node_id = node_id
+
+
+@dataclass
+class AccessOutcome:
+    """Result of a load through the hierarchy at one node."""
+
+    l1_hit: bool
+    l2_hit: bool
+    home_node: int
+
+    @property
+    def went_to_memory(self) -> bool:
+        return not self.l1_hit and not self.l2_hit
+
+
+class CacheSystem:
+    """All L1s and L2 banks of the chip, plus hierarchy access logic."""
+
+    def __init__(
+        self,
+        node_count: int,
+        l1_config: CacheConfig,
+        l2_config: CacheConfig,
+        bank_to_node: Optional[List[int]] = None,
+    ):
+        self.node_count = node_count
+        self.l1s: List[L1Cache] = [L1Cache(n, l1_config) for n in range(node_count)]
+        # One bank per node by default; bank_to_node lets a machine with fewer
+        # banks than nodes place them.
+        if bank_to_node is None:
+            bank_to_node = list(range(node_count))
+        if any(not 0 <= n < node_count for n in bank_to_node):
+            raise ConfigurationError("bank_to_node entries must be node ids")
+        self.bank_to_node = bank_to_node
+        self.l2_banks: List[L2Bank] = [
+            L2Bank(b, node, l2_config) for b, node in enumerate(bank_to_node)
+        ]
+
+    def node_of_bank(self, bank_id: int) -> int:
+        """Mesh node hosting L2 bank ``bank_id``."""
+        return self.bank_to_node[bank_id]
+
+    def load(self, node_id: int, block: int, home_bank: int) -> AccessOutcome:
+        """A core at ``node_id`` loads ``block`` whose home is ``home_bank``.
+
+        L1 miss -> request goes to the home bank; L2 miss -> memory (the
+        caller charges NoC hops and memory latency).  Both levels are filled
+        on the way back, mirroring the flow of Figure 1.
+        """
+        l1_hit = self.l1s[node_id].access(block)
+        if l1_hit:
+            return AccessOutcome(True, True, self.node_of_bank(home_bank))
+        l2_hit = self.l2_banks[home_bank].access(block)
+        return AccessOutcome(False, l2_hit, self.node_of_bank(home_bank))
+
+    def store(self, node_id: int, block: int, home_bank: int) -> AccessOutcome:
+        """A store: write-allocate into L1 and home L2 bank.
+
+        Modeled identically to a load for movement purposes — the paper's
+        metric counts links traversed, and the result travels to the store
+        node either way.
+        """
+        return self.load(node_id, block, home_bank)
+
+    def l1_hit_rate(self) -> float:
+        """Chip-wide L1 hit rate."""
+        hits = sum(c.hits for c in self.l1s)
+        accesses = sum(c.accesses for c in self.l1s)
+        return hits / accesses if accesses else 0.0
+
+    def l2_hit_rate(self) -> float:
+        """Chip-wide L2 hit rate (of L1 misses)."""
+        hits = sum(b.hits for b in self.l2_banks)
+        accesses = sum(b.accesses for b in self.l2_banks)
+        return hits / accesses if accesses else 0.0
+
+    def reset_stats(self) -> None:
+        for cache in self.l1s:
+            cache.reset_stats()
+        for bank in self.l2_banks:
+            bank.reset_stats()
+
+    def clear(self) -> None:
+        for cache in self.l1s:
+            cache.clear()
+        for bank in self.l2_banks:
+            bank.clear()

@@ -1,0 +1,109 @@
+"""Command-line entry point: ``python -m repro.cli``.
+
+Subcommands:
+
+* ``compare APP``   — default vs NDP-partitioned run of one workload.
+* ``codegen APP``   — show the generated per-node code for a few windows.
+* ``experiments``   — run the full table/figure suite (see
+  :mod:`repro.experiments.runner` for flags).
+* ``list``          — list the available workloads.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from repro.core.codegen import generate_code
+from repro.experiments.common import compare_app
+from repro.workloads import ALL_WORKLOAD_NAMES, workload_specs
+
+
+def _cmd_list(_args) -> int:
+    for spec in workload_specs():
+        print(f"{spec.name:<10} [{spec.suite}] {spec.description}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from repro.utils.barchart import percent_chart
+
+    comparison = compare_app(args.app, scale=args.scale, seed=args.seed)
+    d, o = comparison.default_metrics, comparison.optimized_metrics
+    print(f"app: {args.app}")
+    print(f"default  : {d.summary()}")
+    print(f"optimized: {o.summary()}")
+    print()
+    print(
+        percent_chart(
+            {
+                "movement reduction": comparison.movement_reduction(),
+                "time reduction": comparison.time_reduction(),
+                "L1 improvement": comparison.l1_improvement(),
+                "energy reduction": comparison.energy_reduction(),
+            }
+        )
+    )
+    print(f"\nwindow sizes  : {comparison.partition.window_sizes}")
+    print(f"plan variants : {comparison.partition.variant_by_nest}")
+    return 0
+
+
+def _cmd_codegen(args) -> int:
+    comparison = compare_app(args.app, scale=args.scale, seed=args.seed)
+    schedules = []
+    for nest_schedule in comparison.partition.nest_schedules.values():
+        for statement_schedule in nest_schedule.statement_schedules():
+            schedules.append(statement_schedule)
+            if len(schedules) >= args.statements:
+                break
+        break
+    print(generate_code(schedules).listing())
+    return 0
+
+
+def _cmd_experiments(args) -> int:
+    from repro.experiments.runner import main as runner_main
+
+    forwarded: List[str] = []
+    if args.quick:
+        forwarded.append("--quick")
+    if args.apps:
+        forwarded.extend(["--apps", args.apps])
+    forwarded.extend(["--scale", str(args.scale), "--seed", str(args.seed)])
+    return runner_main(forwarded)
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads").set_defaults(func=_cmd_list)
+
+    compare = sub.add_parser("compare", help="default vs optimized for one app")
+    compare.add_argument("app", choices=ALL_WORKLOAD_NAMES)
+    compare.add_argument("--scale", type=int, default=1)
+    compare.add_argument("--seed", type=int, default=0)
+    compare.set_defaults(func=_cmd_compare)
+
+    codegen = sub.add_parser("codegen", help="show generated per-node code")
+    codegen.add_argument("app", choices=ALL_WORKLOAD_NAMES)
+    codegen.add_argument("--statements", type=int, default=6)
+    codegen.add_argument("--scale", type=int, default=1)
+    codegen.add_argument("--seed", type=int, default=0)
+    codegen.set_defaults(func=_cmd_codegen)
+
+    experiments = sub.add_parser("experiments", help="run the table/figure suite")
+    experiments.add_argument("--quick", action="store_true")
+    experiments.add_argument("--apps", default="")
+    experiments.add_argument("--scale", type=int, default=1)
+    experiments.add_argument("--seed", type=int, default=0)
+    experiments.set_defaults(func=_cmd_experiments)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,78 @@
+"""Load balancing across nodes (paper Section 4.5).
+
+Subcomputation cost is measured in operations, with division costing 10x an
+addition or multiplication (the paper's footnote 5).  The scheduler assigns
+a subcomputation to a node only if doing so keeps the load balanced:
+if the assignment would push the node more than ``threshold`` (default 10%)
+above the next most-loaded node, the node is skipped and the next candidate
+is considered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+#: Cost of each primitive operator; division is 10x (paper footnote 5).
+OP_COSTS: Dict[str, float] = {"+": 1.0, "-": 1.0, "*": 1.0, "/": 10.0}
+
+
+def op_cost(op: str, count: int = 1) -> float:
+    """Weighted cost of ``count`` applications of ``op``."""
+    return OP_COSTS.get(op, 1.0) * count
+
+
+class LoadBalancer:
+    """Tracks per-node load and arbitrates subcomputation placement."""
+
+    def __init__(self, node_count: int, threshold: float = 0.10):
+        self.node_count = node_count
+        self.threshold = threshold
+        self.load = [0.0] * node_count
+        self.skips = 0
+
+    def would_unbalance(self, node: int, cost: float) -> bool:
+        """True when assigning ``cost`` to ``node`` breaks the 10% rule.
+
+        The rule compares the node's would-be load against the next most
+        highly-loaded node: exceeding it by more than ``threshold`` is a
+        veto.  A chip with no load anywhere never vetoes.
+        """
+        new_load = self.load[node] + cost
+        others_max = max(
+            (self.load[n] for n in range(self.node_count) if n != node),
+            default=0.0,
+        )
+        if others_max <= 0.0:
+            # Nothing scheduled elsewhere yet; compare against the average
+            # would-be load to avoid every first assignment being vetoed.
+            return False
+        return new_load > (1.0 + self.threshold) * others_max
+
+    def choose(self, candidates: Sequence[int], cost: float) -> int:
+        """First candidate that passes the balance check, else least loaded.
+
+        ``candidates`` are ordered by scheduling preference (minimum data
+        movement first); the fallback mirrors the paper's "skips this node
+        and moves to the next one".
+        """
+        for node in candidates:
+            if not self.would_unbalance(node, cost):
+                return node
+            self.skips += 1
+        return min(candidates, key=lambda n: (self.load[n], n))
+
+    def record(self, node: int, cost: float) -> None:
+        self.load[node] += cost
+
+    def imbalance(self) -> float:
+        """max/mean load ratio (1.0 = perfectly balanced; 0 when idle)."""
+        busy = [l for l in self.load if l > 0]
+        if not busy:
+            return 0.0
+        mean = sum(self.load) / self.node_count
+        return max(self.load) / mean if mean > 0 else 0.0
+
+    def reset(self) -> None:
+        self.load = [0.0] * self.node_count
+        self.skips = 0

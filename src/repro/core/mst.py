@@ -1,0 +1,89 @@
+"""Kruskal's minimum-spanning-tree over mesh nodes (paper Section 3.2).
+
+The graph's vertices are mesh nodes holding a statement's data, edges are
+weighted by Manhattan distance, and the MST's total weight is the minimum
+data movement.  Hierarchical use (nested operand sets) passes a shared
+:class:`~repro.utils.union_find.UnionFind` so already-processed inner sets
+enter the next level as single components, exactly as Algorithm 1 keeps
+``MSTedges`` across ``Vset`` levels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.union_find import UnionFind
+
+
+@dataclass(frozen=True)
+class MstEdge:
+    """An accepted MST edge between two mesh nodes."""
+
+    a: int
+    b: int
+    weight: int
+
+
+def kruskal(
+    vertices: Sequence[int],
+    distance: Callable[[int, int], int],
+    union_find: Optional[UnionFind] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> List[MstEdge]:
+    """Connect ``vertices`` with minimum total ``distance``.
+
+    ``union_find`` lets callers pre-join vertices (hierarchical levels);
+    vertices already connected contribute no edge.  Ties between equal
+    weights are broken by the deterministic (a, b) order unless ``rng`` is
+    given, in which case equal-weight runs are shuffled — the paper breaks
+    ties randomly (Section 5), and the rng keeps that reproducible.
+    """
+    uf = union_find if union_find is not None else UnionFind()
+    for vertex in vertices:
+        uf.add(vertex)
+
+    edges: List[Tuple[int, int, int]] = []
+    ordered = sorted(set(vertices))
+    for i, a in enumerate(ordered):
+        for b in ordered[i + 1:]:
+            edges.append((distance(a, b), a, b))
+    edges.sort()
+
+    if rng is not None:
+        edges = _shuffle_ties(edges, rng)
+
+    accepted: List[MstEdge] = []
+    for weight, a, b in edges:
+        if uf.union(a, b):
+            accepted.append(MstEdge(a, b, weight))
+    return accepted
+
+
+def _shuffle_ties(
+    edges: List[Tuple[int, int, int]], rng: np.random.Generator
+) -> List[Tuple[int, int, int]]:
+    """Shuffle runs of equal-weight edges in place, preserving weight order."""
+    result: List[Tuple[int, int, int]] = []
+    run: List[Tuple[int, int, int]] = []
+    current_weight: Optional[int] = None
+    for edge in edges:
+        if current_weight is None or edge[0] == current_weight:
+            run.append(edge)
+            current_weight = edge[0]
+        else:
+            rng.shuffle(run)  # type: ignore[arg-type]
+            result.extend(run)
+            run = [edge]
+            current_weight = edge[0]
+    if run:
+        rng.shuffle(run)  # type: ignore[arg-type]
+        result.extend(run)
+    return result
+
+
+def tree_weight(edges: Sequence[MstEdge]) -> int:
+    """Total weight of a set of MST edges (the data-movement metric)."""
+    return sum(edge.weight for edge in edges)

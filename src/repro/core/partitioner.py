@@ -1,0 +1,423 @@
+"""The top-level compiler facade: :class:`NdpPartitioner`.
+
+Glues the whole of Algorithm 1 together for a program:
+
+1. declare the program's arrays on the machine and record an access-count
+   profile (drives flat-MCDRAM placement, Section 6.1's VTune step);
+2. train the L2 hit/miss predictor on a trace of the default execution
+   (Section 4.1 — mispredicted references are located at their MC);
+3. per loop nest, run the adaptive window-size search (Section 4.4) or a
+   caller-fixed window size, producing the nest's subcomputation schedule;
+4. aggregate the compile-time statistics the paper reports: per-statement
+   data movement (Fig 13), degree of subcomputation parallelism (Fig 14),
+   synchronizations per statement (Fig 15), and the operator mix of the
+   re-mapped computations (Table 3).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.arch.machine import Machine
+from repro.cache.hierarchy import CacheSystem
+from repro.cache.predictor import HitMissPredictor
+from repro.core.locator import DataLocator
+from repro.core.profiling import build_split_plan, profile_statements
+from repro.core.window import (
+    NestSchedule,
+    SearchOutcome,
+    WindowConfig,
+    WindowScheduler,
+    WindowSizeSearch,
+)
+from repro.errors import SchedulingError
+from repro.ir.dependence import may_depend
+from repro.ir.inspector import InspectorExecutor
+from repro.ir.program import Program
+from repro.utils.stats import mean
+
+
+@dataclass(frozen=True)
+class PartitionConfig:
+    """Configuration of a partitioning run."""
+
+    window: WindowConfig = WindowConfig()
+    adaptive_window: bool = True
+    fixed_window_size: int = 1
+    use_predictor: bool = True
+    predictor_training_instances: int = 4000
+    profile_instances: int = 4000
+    #: The per-nest empirical gate simulates each candidate split plan over
+    #: this many leading instances (0 = the whole nest, the default: short
+    #: samples miss cross-timing-step dependences and steady-state
+    #: congestion) and keeps the best.  Set negative to disable the gate.
+    gate_sample_instances: int = 0
+    #: Movement regression tolerated by the gate: a split plan must deliver
+    #: better time AND at most this factor of the default's data movement
+    #: (the paper's first-class metric is movement; a plan that wins time by
+    #: flooding the network is not the paper's optimization).
+    gate_movement_tolerance: float = 1.05
+    #: Skip profiling and the gate, using exactly this statement->split
+    #: mapping (window-size sweeps reuse the adaptive run's plan).
+    split_plan_override: Optional[Dict] = None
+
+
+@dataclass
+class PartitionResult:
+    """Everything the compiler produced for one program."""
+
+    program_name: str
+    nest_schedules: Dict[str, NestSchedule]
+    window_sizes: Dict[str, int]
+    movement_by_size: Dict[str, Dict[int, int]]
+    predictor_accuracy: Optional[float] = None
+    #: Which plan won each nest's empirical gate: star / profile / split.
+    variant_by_nest: Dict[str, str] = field(default_factory=dict)
+    #: The chosen (nest, body_index) -> split? decisions, reusable via
+    #: PartitionConfig.split_plan_override.
+    split_plan: Dict = field(default_factory=dict)
+
+    @property
+    def movement(self) -> int:
+        """Total predicted data movement (links traversed) of the schedule."""
+        return sum(s.movement for s in self.nest_schedules.values())
+
+    def units(self):
+        """All scheduled subcomputations, simulator-ready, in program order."""
+        out = []
+        for schedule in self.nest_schedules.values():
+            for statement_schedule in schedule.statement_schedules():
+                out.extend(statement_schedule.subcomputations)
+        return out
+
+    @property
+    def statement_count(self) -> int:
+        return sum(s.statement_count for s in self.nest_schedules.values())
+
+    def per_statement_movement(self) -> List[int]:
+        out: List[int] = []
+        for schedule in self.nest_schedules.values():
+            out.extend(schedule.per_statement_movement())
+        return out
+
+    def parallel_degrees(self) -> List[int]:
+        out: List[int] = []
+        for schedule in self.nest_schedules.values():
+            out.extend(schedule.parallel_degrees())
+        return out
+
+    def average_parallelism(self) -> float:
+        return mean(self.parallel_degrees())
+
+    def max_parallelism(self) -> int:
+        degrees = self.parallel_degrees()
+        return max(degrees) if degrees else 0
+
+    def syncs_per_statement(self) -> float:
+        statements = self.statement_count
+        if not statements:
+            return 0.0
+        total = sum(s.sync_count for s in self.nest_schedules.values())
+        return total / statements
+
+    def syncs_per_statement_unminimized(self) -> float:
+        statements = self.statement_count
+        if not statements:
+            return 0.0
+        total = sum(
+            s.sync_count_unminimized for s in self.nest_schedules.values()
+        )
+        return total / statements
+
+    def remapped_op_fractions(self) -> Dict[str, float]:
+        """Fraction of re-mapped ops by type: add/sub, mul/div, others.
+
+        Table 3's categories.  Our IR has the four arithmetic operators;
+        'others' counts the pure-move forwards the scheduler emits.
+        """
+        counts: Dict[str, int] = {}
+        for schedule in self.nest_schedules.values():
+            for op, count in schedule.remapped_op_breakdown().items():
+                counts[op] = counts.get(op, 0) + count
+        addsub = counts.get("+", 0) + counts.get("-", 0)
+        muldiv = counts.get("*", 0) + counts.get("/", 0)
+        others = sum(counts.values()) - addsub - muldiv
+        total = max(addsub + muldiv + others, 1)
+        return {
+            "add/sub": addsub / total,
+            "mul/div": muldiv / total,
+            "others": others / total,
+        }
+
+    def modeled_l1_hits(self) -> int:
+        return sum(s.l1_hits_modeled for s in self.nest_schedules.values())
+
+
+def profile_access_counts(
+    program: Program, max_instances: int = 4000
+) -> Dict[str, float]:
+    """Per-array dynamic access counts (the profiling step of Section 6.1)."""
+    counts: Dict[str, float] = {}
+    seen = 0
+    for instance in program.instances():
+        for access in instance.accesses():
+            counts[access.array] = counts.get(access.array, 0.0) + 1.0
+        seen += 1
+        if seen >= max_instances:
+            break
+    return counts
+
+
+def train_predictor(
+    machine: Machine,
+    program: Program,
+    predictor: HitMissPredictor,
+    max_instances: int = 4000,
+) -> float:
+    """Train the L2 predictor on a default-execution trace; returns accuracy.
+
+    Simulates only the shared L2 banks (the predictor predicts L2 outcomes;
+    L1 behaviour is irrelevant to it) over the program's access stream in
+    default execution order.
+    """
+    program.declare_on(machine)
+    caches = CacheSystem(
+        machine.node_count,
+        machine.l1_config,
+        machine.l2_config,
+        machine.bank_to_node,
+    )
+    seen = 0
+    for instance in program.instances():
+        for access in instance.accesses():
+            address = machine.layout.pa_of(access.array, access.index)
+            block = machine.layout.block_of(access.array, access.index)
+            bank = machine.layout.l2_bank_of(access.array, access.index)
+            was_hit = caches.l2_banks[bank].access(block)
+            predictor.predict_and_train(address, was_hit)
+        seen += 1
+        if seen >= max_instances:
+            break
+    return predictor.accuracy()
+
+
+class NdpPartitioner:
+    """The compiler: partitions a program into scheduled subcomputations."""
+
+    def __init__(self, machine: Machine, config: PartitionConfig = PartitionConfig()):
+        self.machine = machine
+        self.config = config
+        self.predictor: Optional[HitMissPredictor] = (
+            HitMissPredictor() if config.use_predictor else None
+        )
+
+    def partition(self, program: Program) -> PartitionResult:
+        """Run the full pipeline on ``program``."""
+        program.declare_on(self.machine)
+        self.machine.record_profile(
+            profile_access_counts(program, self.config.profile_instances)
+        )
+        predictor_accuracy: Optional[float] = None
+        if self.predictor is not None:
+            predictor_accuracy = train_predictor(
+                self.machine,
+                program,
+                self.predictor,
+                self.config.predictor_training_instances,
+            )
+        # Irregular nests need inspection before their indirect accesses can
+        # be resolved; the inspector also validates index data availability.
+        if may_depend(program):
+            InspectorExecutor(program).inspect_all()
+
+        locator = DataLocator(self.machine, self.predictor)
+        # The default placement's iteration->node assignment: unsplit
+        # statements run exactly where the default would run them, so "do
+        # not split" always degenerates to the baseline (the paper's scheme
+        # optimizes *on top of* the locality-optimized default, Section 6.1).
+        from repro.baselines.default_placement import DefaultPlacement
+
+        fallback_nodes = DefaultPlacement(self.machine).assignment(program)
+        if self.config.split_plan_override is None:
+            locator_for_profiling = DataLocator(self.machine, self.predictor)
+            profiles = profile_statements(
+                self.machine,
+                program,
+                locator_for_profiling,
+                fallback_nodes,
+                sample_per_nest=self.config.profile_instances,
+            )
+            split_plan = build_split_plan(profiles, self.config.window.split_bias)
+        else:
+            profiles = {}
+            split_plan = dict(self.config.split_plan_override)
+        nest_schedules: Dict[str, NestSchedule] = {}
+        window_sizes: Dict[str, int] = {}
+        movement_by_size: Dict[str, Dict[int, int]] = {}
+        variant_by_nest: Dict[str, str] = {}
+        chosen_plan: Dict = {}
+        uid_counter = itertools.count()
+        for nest in program.nests:
+            if nest.name in nest_schedules:
+                raise SchedulingError(f"duplicate nest name {nest.name!r}")
+            if self.config.split_plan_override is not None:
+                keys = [(nest.name, b) for b in range(nest.body_size)]
+                plan = {k: bool(split_plan.get(k, False)) for k in keys}
+                variant = "override"
+            else:
+                plan, variant = self._choose_nest_plan(
+                    program, nest, locator, fallback_nodes, split_plan, profiles
+                )
+            chosen_plan.update(plan)
+            variant_by_nest[nest.name] = variant
+            if self.config.adaptive_window and any(plan.values()):
+                outcome = WindowSizeSearch(
+                    self.machine,
+                    locator,
+                    self.config.window,
+                    uid_counter=uid_counter,
+                    fallback_nodes=fallback_nodes,
+                    split_plan=plan,
+                ).search(program, nest)
+                nest_schedules[nest.name] = outcome.best_schedule
+                window_sizes[nest.name] = outcome.best_size
+                movement_by_size[nest.name] = outcome.movement_by_size
+            else:
+                # All-star nests (== the default execution) and fixed-window
+                # configurations skip the size search.
+                size = (
+                    1
+                    if self.config.adaptive_window
+                    else self.config.fixed_window_size
+                )
+                scheduler = WindowScheduler(
+                    self.machine,
+                    locator,
+                    self.config.window,
+                    uid_counter=uid_counter,
+                    fallback_nodes=fallback_nodes,
+                    split_plan=plan,
+                )
+                schedule = scheduler.schedule_nest(program, nest, size)
+                nest_schedules[nest.name] = schedule
+                window_sizes[nest.name] = size
+                movement_by_size[nest.name] = {size: schedule.movement}
+        return PartitionResult(
+            program_name=program.name,
+            nest_schedules=nest_schedules,
+            window_sizes=window_sizes,
+            movement_by_size=movement_by_size,
+            predictor_accuracy=predictor_accuracy,
+            variant_by_nest=variant_by_nest,
+            split_plan=chosen_plan,
+        )
+
+    def _choose_nest_plan(
+        self,
+        program: Program,
+        nest,
+        locator: DataLocator,
+        fallback_nodes: Dict[int, int],
+        profile_plan: Dict,
+        profiles: Dict,
+    ):
+        """Pick the nest's split plan empirically (the gate).
+
+        Candidate plans — all-star (identical to the default execution), the
+        profile-derived per-statement plan, and all-split (every statement
+        except serial-chain reductions) — are each scheduled over the nest
+        and *simulated*.  A splitting plan is accepted only when it improves
+        execution time AND does not regress data movement beyond the
+        configured tolerance (movement is the paper's first-class metric);
+        among accepted plans the fastest wins.  The all-star plan is always
+        a candidate, so a partitioned build never regresses a nest below
+        the baseline.
+        """
+        keys = [(nest.name, b) for b in range(nest.body_size)]
+        star = {key: False for key in keys}
+        from_profile = {key: bool(profile_plan.get(key, False)) for key in keys}
+        all_split = {
+            key: not (key in profiles and profiles[key].serial_chain)
+            for key in keys
+        }
+        if self.config.window.always_split:
+            return all_split, "split"
+        candidates = []
+        if any(from_profile.values()):
+            candidates.append(("profile", from_profile))
+        if any(all_split.values()) and all_split != from_profile:
+            candidates.append(("split", all_split))
+        if not candidates or self.config.gate_sample_instances < 0:
+            return from_profile, "profile" if any(from_profile.values()) else "star"
+
+        from repro.sim.engine import SimConfig, Simulator
+
+        star_cycles, star_movement = self._gate_measure(
+            program, nest, locator, fallback_nodes, star
+        )
+        best_plan = star
+        best_variant = "star"
+        best_cycles = star_cycles
+        tolerance = self.config.gate_movement_tolerance
+        for variant, plan in candidates:
+            cycles, movement = self._gate_measure(
+                program, nest, locator, fallback_nodes, plan
+            )
+            if cycles < best_cycles and movement <= tolerance * max(star_movement, 1):
+                best_cycles = cycles
+                best_plan = plan
+                best_variant = variant
+        return best_plan, best_variant
+
+    def _gate_measure(
+        self,
+        program: Program,
+        nest,
+        locator: DataLocator,
+        fallback_nodes: Dict[int, int],
+        plan: Dict,
+    ):
+        """(cycles, movement) of one candidate plan over the nest sample."""
+        from repro.sim.engine import SimConfig, Simulator
+
+        scheduler = WindowScheduler(
+            self.machine,
+            locator,
+            self.config.window,
+            fallback_nodes=fallback_nodes,
+            split_plan=plan,
+        )
+        size = 1
+        sample = self.config.gate_sample_instances
+        limit = sample if sample > 0 else nest.instance_count
+        if any(plan.values()):
+            outcome = WindowSizeSearch(
+                self.machine,
+                locator,
+                self.config.window,
+                fallback_nodes=fallback_nodes,
+                split_plan=plan,
+            ).search_sample(program, nest, min(limit, 768))
+            size = outcome.best_size
+        units = []
+        buffer = []
+        seen = 0
+        for instance in program.nest_instances(nest, program.seq_base_of(nest)):
+            buffer.append(instance)
+            seen += 1
+            if len(buffer) == size:
+                window = scheduler.schedule_window(buffer)
+                for statement_schedule in window.schedules:
+                    units.extend(statement_schedule.subcomputations)
+                buffer = []
+            if seen >= limit:
+                break
+        if buffer:
+            window = scheduler.schedule_window(buffer)
+            for statement_schedule in window.schedules:
+                units.extend(statement_schedule.subcomputations)
+        self.machine.mcdram.reset()
+        metrics = Simulator(self.machine, SimConfig()).run(units)
+        return metrics.total_cycles, metrics.data_movement

@@ -1,0 +1,406 @@
+"""Window-based multi-statement scheduling and the adaptive size search
+(paper Sections 4.3 and 4.4).
+
+A *window* is a run of consecutive statement instances in execution order
+(a window of 8 over a 4-statement loop body spans 2 iterations).  Within a
+window, the ``variable2node_map`` carries forward which L1s hold which
+blocks because of already-scheduled subcomputations, so later statements'
+MSTs can exploit the copies (NDP + data reuse together).  The map resets at
+window boundaries — that boundary is precisely why the window size matters
+(Figure 12's worked example).
+
+:class:`WindowSizeSearch` is the preprocessing step of Section 4.4: try
+every window size from 1 to 8 statements on the nest, measure the resulting
+total data movement, and keep the best.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.arch.machine import Machine
+from repro.core.balancer import LoadBalancer
+from repro.core.locator import DataLocator, VariableToNodeMap
+from repro.core.scheduler import (
+    StatementSchedule,
+    schedule_star,
+    schedule_statement,
+    star_cost,
+)
+from repro.core.splitter import split_statement
+from repro.core.syncgraph import SyncGraph
+from repro.errors import SchedulingError
+from repro.ir.dependence import DependenceKind, instance_dependences
+from repro.ir.loop import LoopNest
+from repro.ir.program import Program
+from repro.ir.statement import StatementInstance
+from repro.utils.rng import derive_rng
+
+#: The paper found no nest preferring more than 8 statements (footnote 4).
+MAX_WINDOW_SIZE = 8
+
+
+@dataclass(frozen=True)
+class WindowConfig:
+    """Knobs of the window scheduler.
+
+    ``reuse_aware=False`` reproduces the paper's reuse-agnostic ablation
+    (Section 6.3): the variable2node map is neither consulted nor updated.
+    ``l1_model_blocks`` caps the compiler's per-node L1 model — the source
+    of the modeled cache-pollution penalty for oversized windows.
+    """
+
+    max_window_size: int = MAX_WINDOW_SIZE
+    reuse_aware: bool = True
+    l1_model_blocks: int = 64
+    balance_threshold: float = 0.10
+    flatten_products: bool = False
+    random_ties: bool = False
+    seed: int = 0
+    #: The size search measures candidate window sizes on this many leading
+    #: statement instances of the nest (0 = the whole nest).  Loop bodies
+    #: repeat, so a prefix is representative, and the search stays cheap.
+    search_sample_instances: int = 768
+    #: Force MST splitting even when the unsplit gather-at-store execution
+    #: moves less data (ablation knob; the production path picks the better
+    #: of the two per statement).
+    always_split: bool = False
+    #: Split only when the MST saves at least this many links per instance
+    #: over the unsplit execution: each cross-node result message costs a
+    #: synchronization and serializes dependence chains, so marginal splits
+    #: are not worth taking.
+    split_bias: float = 3.0
+
+
+@dataclass
+class WindowSchedule:
+    """All statement schedules of one window plus its sync graph."""
+
+    schedules: List[StatementSchedule]
+    sync_graph: SyncGraph
+    syncs_before_minimization: int
+    syncs_after_minimization: int
+
+    @property
+    def movement(self) -> int:
+        return sum(s.movement for s in self.schedules)
+
+    @property
+    def statement_count(self) -> int:
+        return len(self.schedules)
+
+
+@dataclass
+class NestSchedule:
+    """The complete schedule of one loop nest at one window size."""
+
+    nest_name: str
+    window_size: int
+    windows: List[WindowSchedule]
+
+    @property
+    def movement(self) -> int:
+        return sum(w.movement for w in self.windows)
+
+    @property
+    def statement_count(self) -> int:
+        return sum(w.statement_count for w in self.windows)
+
+    @property
+    def subcomputation_count(self) -> int:
+        return sum(
+            len(s.subcomputations) for w in self.windows for s in w.schedules
+        )
+
+    @property
+    def l1_hits_modeled(self) -> int:
+        return sum(s.l1_hits_modeled for w in self.windows for s in w.schedules)
+
+    @property
+    def gathers(self) -> int:
+        return sum(s.gathers for w in self.windows for s in w.schedules)
+
+    @property
+    def sync_count(self) -> int:
+        return sum(w.syncs_after_minimization for w in self.windows)
+
+    @property
+    def sync_count_unminimized(self) -> int:
+        return sum(w.syncs_before_minimization for w in self.windows)
+
+    def statement_schedules(self) -> Iterator[StatementSchedule]:
+        for window in self.windows:
+            yield from window.schedules
+
+    def per_statement_movement(self) -> List[int]:
+        return [s.movement for s in self.statement_schedules()]
+
+    def parallel_degrees(self) -> List[int]:
+        return [s.parallel_degree() for s in self.statement_schedules()]
+
+    def remapped_op_breakdown(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for schedule in self.statement_schedules():
+            for op, count in schedule.remapped_op_breakdown().items():
+                counts[op] = counts.get(op, 0) + count
+        return counts
+
+
+class WindowScheduler:
+    """Schedules statement instances window by window."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        locator: DataLocator,
+        config: WindowConfig = WindowConfig(),
+        balancer: Optional[LoadBalancer] = None,
+        uid_counter: Optional[Iterator[int]] = None,
+        fallback_nodes: Optional[Dict[int, int]] = None,
+        split_plan: Optional[Dict[Tuple[str, int], bool]] = None,
+    ):
+        self.machine = machine
+        self.locator = locator
+        self.config = config
+        self.balancer = balancer or LoadBalancer(
+            machine.node_count, config.balance_threshold
+        )
+        # Shared across nests (and window-size trials) so uids stay unique
+        # within one compilation.
+        self._uid_counter = uid_counter if uid_counter is not None else itertools.count()
+        self._rng = (
+            derive_rng(config.seed, "mst-ties") if config.random_ties else None
+        )
+        # seq -> default-placement node: where an unsplit statement runs
+        # (the paper optimizes on top of the default assignment).
+        self.fallback_nodes = fallback_nodes or {}
+        # Static per-statement split decisions from the profiling pass; when
+        # absent, the scheduler falls back to a per-instance model compare.
+        self.split_plan = split_plan
+        # Persistent model of the real L1 contents under the schedule being
+        # built (real caches do not forget at window boundaries): stars
+        # record their blocks at their execution node, splits at their
+        # gather nodes.  Used for expected-hit marking and for the
+        # split-vs-unsplit movement comparison; the window-scoped
+        # ``variable2node_map`` remains the reuse-candidate source, as in
+        # Algorithm 1.
+        self._l1_model = VariableToNodeMap(
+            per_node_capacity=machine.l1_config.line_count
+        )
+
+    def schedule_window(
+        self, instances: Sequence[StatementInstance]
+    ) -> WindowSchedule:
+        """Schedule one window of consecutive statement instances."""
+        var2node = (
+            VariableToNodeMap(self.config.l1_model_blocks)
+            if self.config.reuse_aware
+            else None
+        )
+        schedules: List[StatementSchedule] = []
+        for instance in instances:
+            split = split_statement(
+                instance,
+                self.locator,
+                var2node,
+                rng=self._rng,
+                flatten_products=self.config.flatten_products,
+            )
+            # Split only when the MST actually beats the unsplit default
+            # execution (data movement is the first-class metric; a split
+            # that moves *more* data is never taken).
+            fallback = self.fallback_nodes.get(instance.seq)
+            if self.config.always_split:
+                decision = True
+            elif self.split_plan is not None and instance.static_key in self.split_plan:
+                decision = self.split_plan[instance.static_key]
+            else:
+                unsplit = star_cost(instance, self.locator, self._l1_model, fallback)
+                decision = split.mst_weight + self.config.split_bias <= unsplit
+            if decision:
+                schedules.append(
+                    schedule_statement(
+                        split,
+                        self.locator,
+                        self.balancer,
+                        self._uid_counter,
+                        var2node,
+                        hit_model=self._l1_model,
+                    )
+                )
+            else:
+                schedules.append(
+                    schedule_star(
+                        instance,
+                        self.locator,
+                        self.balancer,
+                        self._uid_counter,
+                        var2node,
+                        fallback,
+                        hit_model=self._l1_model,
+                    )
+                )
+        graph = self._build_sync_graph(instances, schedules)
+        before = graph.arc_count()
+        graph.minimize()
+        after = graph.arc_count()
+        return WindowSchedule(schedules, graph, before, after)
+
+    def _build_sync_graph(
+        self,
+        instances: Sequence[StatementInstance],
+        schedules: Sequence[StatementSchedule],
+    ) -> SyncGraph:
+        """Intra-statement join syncs + inter-statement dependence syncs."""
+        graph = SyncGraph()
+        for schedule in schedules:
+            for producer, consumer in schedule.sync_arcs():
+                graph.add_arc(producer, consumer)
+        by_seq = {s.instance.seq: s for s in schedules}
+        for dep in instance_dependences(list(instances)):
+            if dep.src_seq == dep.dst_seq:
+                continue
+            producer = by_seq.get(dep.src_seq)
+            consumer = by_seq.get(dep.dst_seq)
+            if producer is None or consumer is None:
+                continue
+            targets = self._consumers_of(consumer, dep)
+            for uid in targets:
+                # Producers belong to an earlier statement, so no cycle risk.
+                if producer.final_uid != uid:
+                    graph.add_arc(producer.final_uid, uid)
+        return graph
+
+    @staticmethod
+    def _consumers_of(schedule: StatementSchedule, dep) -> List[int]:
+        """Subcomputations of ``schedule`` that touch the dependent access."""
+        if dep.kind is DependenceKind.FLOW:
+            uids = [
+                sub.uid
+                for sub in schedule.subcomputations
+                for g in sub.gathered
+                if g.access == dep.access
+            ]
+            return uids or [schedule.final_uid]
+        # Anti/output dependences serialize against the consumer's store.
+        return [schedule.final_uid]
+
+    def schedule_nest(
+        self, program: Program, nest: LoopNest, window_size: int
+    ) -> NestSchedule:
+        """Schedule a whole nest with a fixed window size."""
+        if window_size < 1:
+            raise SchedulingError(f"window size must be >= 1, got {window_size}")
+        windows: List[WindowSchedule] = []
+        buffer: List[StatementInstance] = []
+        for instance in program.nest_instances(nest, program.seq_base_of(nest)):
+            buffer.append(instance)
+            if len(buffer) == window_size:
+                windows.append(self.schedule_window(buffer))
+                buffer = []
+        if buffer:
+            windows.append(self.schedule_window(buffer))
+        return NestSchedule(nest.name, window_size, windows)
+
+
+@dataclass
+class SearchOutcome:
+    """Result of the adaptive window-size search for one nest."""
+
+    nest_name: str
+    best_size: int
+    best_schedule: NestSchedule
+    movement_by_size: Dict[int, int]
+
+
+class WindowSizeSearch:
+    """Section 4.4's preprocessing: pick the per-nest window size."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        locator: DataLocator,
+        config: WindowConfig = WindowConfig(),
+        uid_counter: Optional[Iterator[int]] = None,
+        fallback_nodes: Optional[Dict[int, int]] = None,
+        split_plan: Optional[Dict[Tuple[str, int], bool]] = None,
+    ):
+        self.machine = machine
+        self.locator = locator
+        self.config = config
+        self.uid_counter = uid_counter if uid_counter is not None else itertools.count()
+        self.fallback_nodes = fallback_nodes
+        self.split_plan = split_plan
+
+    def search(self, program: Program, nest: LoopNest) -> SearchOutcome:
+        """Try window sizes 1..max, keep the one minimizing data movement.
+
+        Candidate sizes are measured on a leading sample of the nest's
+        instance stream (loop bodies repeat, so the prefix is
+        representative); the winning size then schedules the whole nest.
+        Each trial uses a fresh load balancer so the comparison is apples
+        to apples.
+        """
+        best_size, movement_by_size = self._best_size(
+            program, nest, self.config.search_sample_instances
+        )
+        final = self._scheduler().schedule_nest(program, nest, best_size)
+        return SearchOutcome(nest.name, best_size, final, movement_by_size)
+
+    def search_sample(self, program: Program, nest: LoopNest, sample: int) -> SearchOutcome:
+        """Like :meth:`search` but without scheduling the whole nest."""
+        best_size, movement_by_size = self._best_size(program, nest, sample)
+        empty = NestSchedule(nest.name, best_size, [])
+        return SearchOutcome(nest.name, best_size, empty, movement_by_size)
+
+    def _best_size(self, program: Program, nest: LoopNest, sample: int):
+        movement_by_size: Dict[int, int] = {}
+        best_size = 1
+        best_movement: Optional[int] = None
+        for size in range(1, self.config.max_window_size + 1):
+            scheduler = self._scheduler()
+            movement = self._sampled_movement(scheduler, program, nest, size, sample)
+            movement_by_size[size] = movement
+            if best_movement is None or movement < best_movement:
+                best_movement = movement
+                best_size = size
+        return best_size, movement_by_size
+
+    def _scheduler(self) -> WindowScheduler:
+        return WindowScheduler(
+            self.machine,
+            self.locator,
+            self.config,
+            LoadBalancer(self.machine.node_count, self.config.balance_threshold),
+            uid_counter=self.uid_counter,
+            fallback_nodes=self.fallback_nodes,
+            split_plan=self.split_plan,
+        )
+
+    def _sampled_movement(
+        self,
+        scheduler: WindowScheduler,
+        program: Program,
+        nest: LoopNest,
+        size: int,
+        sample: int,
+    ) -> int:
+        """Movement of ``size``-windows over the nest's leading instances."""
+        movement = 0
+        buffer: List[StatementInstance] = []
+        seen = 0
+        for instance in program.nest_instances(nest, program.seq_base_of(nest)):
+            buffer.append(instance)
+            seen += 1
+            if len(buffer) == size:
+                movement += scheduler.schedule_window(buffer).movement
+                buffer = []
+            if sample and seen >= sample:
+                break
+        if buffer:
+            movement += scheduler.schedule_window(buffer).movement
+        return movement

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of this package with a single ``except`` clause
+while still being able to distinguish configuration problems from parse
+errors or scheduling failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An architecture/machine/experiment configuration is invalid."""
+
+
+class ParseError(ReproError):
+    """A statement or program source string could not be parsed."""
+
+    def __init__(self, message: str, source: str = "", position: int = -1):
+        self.source = source
+        self.position = position
+        if source and position >= 0:
+            caret = " " * position + "^"
+            message = f"{message}\n  {source}\n  {caret}"
+        super().__init__(message)
+
+
+class DependenceError(ReproError):
+    """Dependence analysis failed or a schedule violates a dependence."""
+
+
+class SchedulingError(ReproError):
+    """Subcomputation scheduling could not produce a valid assignment."""
+
+
+class MappingError(ReproError):
+    """A physical-address or data-to-node mapping request is invalid."""
+
+
+class SimulationError(ReproError):
+    """The execution simulator reached an inconsistent state."""
+
+
+class WorkloadError(ReproError):
+    """A workload definition is malformed or unknown."""

@@ -1,0 +1,46 @@
+"""Experiment harnesses: one module per paper table/figure.
+
+Every experiment follows the same pattern: build the 12-workload suite,
+run the default placement and the NDP partitioner through the simulator
+(results are cached per configuration within the process), and print the
+same rows/series the paper reports.  The benchmarks under ``benchmarks/``
+are thin wrappers that invoke these and assert the reproduced *shape*.
+
+Index (see DESIGN.md for the full mapping):
+
+========  =======================================  =======================
+artifact  quantity                                 module
+========  =======================================  =======================
+Table 1   analyzable reference fractions           table1_analyzable
+Table 2   L2 predictor accuracy                    table2_predictor
+Table 3   op mix of re-mapped computations         table3_opmix
+Fig 13    per-statement movement reduction         fig13_movement
+Fig 14    degree of subcomputation parallelism     fig14_parallelism
+Fig 15    synchronizations per statement           fig15_syncs
+Fig 16    L1 hit-rate improvement                  fig16_l1
+Fig 17    execution time vs ideal scenarios        fig17_exec_time
+Fig 18    metric isolation (S1..S4)                fig18_isolation
+Fig 19    network latency reduction                fig19_latency
+Fig 20    fixed vs adaptive window sizes           fig20_window
+Fig 21    L1 hit rate vs window size               fig21_window_l1
+Fig 22    cluster mode x memory mode grid          fig22_modes
+Fig 23    profile data-to-MC mapping               fig23_data_mapping
+Fig 24    energy savings                           fig24_energy
+========  =======================================  =======================
+"""
+
+from repro.experiments.common import (
+    DEFAULT_APPS,
+    AppComparison,
+    compare_app,
+    paper_machine,
+    clear_cache,
+)
+
+__all__ = [
+    "DEFAULT_APPS",
+    "AppComparison",
+    "compare_app",
+    "paper_machine",
+    "clear_cache",
+]

@@ -1,0 +1,45 @@
+"""Figure 14: degree of subcomputation parallelism.
+
+Average and maximum number of subcomputations executed in parallel per
+program statement.  The paper's average across applications is ~3, with
+Ocean and Barnes highest (their statements are longest).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.experiments.common import DEFAULT_APPS, compare_app, format_table
+from repro.utils.stats import mean
+
+
+@dataclass
+class Fig14Result:
+    parallelism: Dict[str, Tuple[float, int]]  # app -> (avg, max)
+
+    def overall_average(self) -> float:
+        return mean(avg for avg, _ in self.parallelism.values())
+
+    def report(self) -> str:
+        rows = [
+            [app, f"{avg:.2f}", str(worst)]
+            for app, (avg, worst) in self.parallelism.items()
+        ]
+        rows.append(["mean", f"{self.overall_average():.2f}", ""])
+        return (
+            "Figure 14: degree of subcomputation parallelism per statement\n"
+            + format_table(["app", "avg", "max"], rows)
+        )
+
+
+def run(apps: List[str] = DEFAULT_APPS, scale: int = 1, seed: int = 0) -> Fig14Result:
+    parallelism: Dict[str, Tuple[float, int]] = {}
+    for app in apps:
+        comparison = compare_app(app, scale, seed)
+        partition = comparison.partition
+        parallelism[app] = (
+            partition.average_parallelism(),
+            partition.max_parallelism(),
+        )
+    return Fig14Result(parallelism)

@@ -1,0 +1,42 @@
+"""Figure 15: synchronizations per statement due to subcomputation scheduling.
+
+After the transitive-closure minimization (Section 4.5).  The paper
+observes more parallelism usually means more synchronizations; both the
+minimized and unminimized counts are reported here so the minimization's
+effect is visible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.experiments.common import DEFAULT_APPS, compare_app, format_table
+
+
+@dataclass
+class Fig15Result:
+    syncs: Dict[str, Tuple[float, float]]  # app -> (minimized, unminimized)
+
+    def report(self) -> str:
+        rows = [
+            [app, f"{minimized:.2f}", f"{unminimized:.2f}"]
+            for app, (minimized, unminimized) in self.syncs.items()
+        ]
+        return (
+            "Figure 15: synchronizations per statement (after / before "
+            "transitive-closure minimization)\n"
+            + format_table(["app", "minimized", "unminimized"], rows)
+        )
+
+
+def run(apps: List[str] = DEFAULT_APPS, scale: int = 1, seed: int = 0) -> Fig15Result:
+    syncs: Dict[str, Tuple[float, float]] = {}
+    for app in apps:
+        comparison = compare_app(app, scale, seed)
+        partition = comparison.partition
+        syncs[app] = (
+            partition.syncs_per_statement(),
+            partition.syncs_per_statement_unminimized(),
+        )
+    return Fig15Result(syncs)

@@ -1,0 +1,81 @@
+"""Figure 17: execution-time reduction — ours vs two ideal scenarios.
+
+Three bars per application: our compiler approach, the ideal-network
+scenario (all messages take 0 cycles), and ideal data analysis (oracle
+predictor + perfect reuse knowledge).  Paper geomeans: 18.4% / 24.4% /
+22.3%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.baselines.ideal import ideal_network_config
+from repro.experiments.common import (
+    DEFAULT_APPS,
+    compare_app,
+    format_table,
+    paper_machine,
+)
+from repro.sim.engine import SimConfig, Simulator
+from repro.utils.stats import geomean
+from repro.workloads import build_workload
+
+
+@dataclass
+class Fig17Result:
+    # app -> (ours, ideal network, ideal analysis) fractional time reduction
+    reductions: Dict[str, Tuple[float, float, float]]
+
+    def geomeans(self) -> Tuple[float, float, float]:
+        def geo(index: int) -> float:
+            values = [max(r[index], 1e-4) for r in self.reductions.values()]
+            return geomean(values) if values else 0.0
+
+        return geo(0), geo(1), geo(2)
+
+    def means(self) -> Tuple[float, float, float]:
+        def mean(index: int) -> float:
+            values = [r[index] for r in self.reductions.values()]
+            return sum(values) / len(values) if values else 0.0
+
+        return mean(0), mean(1), mean(2)
+
+    def report(self) -> str:
+        rows = [
+            [app, f"{ours * 100:.1f}%", f"{net * 100:.1f}%", f"{ana * 100:.1f}%"]
+            for app, (ours, net, ana) in self.reductions.items()
+        ]
+        g = self.means()
+        rows.append(["mean", f"{g[0] * 100:.1f}%", f"{g[1] * 100:.1f}%", f"{g[2] * 100:.1f}%"])
+        return (
+            "Figure 17: execution time reduction (ours / ideal network / "
+            "ideal data analysis)\n"
+            + format_table(["app", "ours", "ideal-net", "ideal-analysis"], rows)
+        )
+
+
+def run(apps: List[str] = DEFAULT_APPS, scale: int = 1, seed: int = 0) -> Fig17Result:
+    reductions: Dict[str, Tuple[float, float, float]] = {}
+    for app in apps:
+        comparison = compare_app(app, scale, seed)
+        base = comparison.default_metrics.total_cycles
+        ours = comparison.time_reduction()
+
+        # Ideal network: rerun the optimized schedule with free messages.
+        machine = paper_machine()
+        build_workload(app, scale, seed).declare_on(machine)
+        ideal_net_metrics = Simulator(machine, ideal_network_config()).run(
+            comparison.partition.units()
+        )
+        ideal_net = (base - ideal_net_metrics.total_cycles) / base if base else 0.0
+
+        # Ideal data analysis: oracle-repartitioned run (shared with Fig 24).
+        from repro.experiments.common import ideal_analysis_metrics
+
+        ideal_ana_metrics = ideal_analysis_metrics(app, scale, seed)
+        ideal_ana = (base - ideal_ana_metrics.total_cycles) / base if base else 0.0
+
+        reductions[app] = (ours, max(ideal_net, ours), max(ideal_ana, ours))
+    return Fig17Result(reductions)

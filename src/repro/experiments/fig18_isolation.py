@@ -1,0 +1,103 @@
+"""Figure 18: contribution of each metric to the improvement (simulation).
+
+Four counterfactual versions of the *default* execution, each inheriting
+exactly one property of the optimized run:
+
+* S1 — the optimized code's L1 hit/miss profile;
+* S2 — the optimized code's data-movement costs;
+* S3 — the optimized code's degree of parallelism;
+* S4 — the default plus the optimized code's synchronization costs.
+
+Reported as normalized performance vs the default (higher is better; S4 is
+<= 1 by construction).  Paper: movement dominates (S2 ~ 1.15), then
+parallelism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Tuple
+
+from repro.experiments.common import (
+    DEFAULT_APPS,
+    compare_app,
+    format_table,
+    paper_machine,
+    run_default,
+)
+from repro.sim.engine import SimConfig
+from repro.utils.stats import geomean
+
+
+@dataclass
+class Fig18Result:
+    # app -> (S1, S2, S3, S4) normalized performance (default = 1.0)
+    speedups: Dict[str, Tuple[float, float, float, float]]
+
+    def geomeans(self) -> Tuple[float, float, float, float]:
+        def geo(index: int) -> float:
+            return geomean([max(s[index], 1e-4) for s in self.speedups.values()])
+
+        return geo(0), geo(1), geo(2), geo(3)
+
+    def report(self) -> str:
+        rows = [
+            [app, f"{s1:.3f}", f"{s2:.3f}", f"{s3:.3f}", f"{s4:.3f}"]
+            for app, (s1, s2, s3, s4) in self.speedups.items()
+        ]
+        g = self.geomeans()
+        rows.append(["geomean"] + [f"{v:.3f}" for v in g])
+        return (
+            "Figure 18: per-metric contribution (normalized performance, "
+            "default = 1.0)\n"
+            + format_table(["app", "S1:L1", "S2:movement", "S3:parallel", "S4:syncs"], rows)
+        )
+
+
+def run(apps: List[str] = DEFAULT_APPS, scale: int = 1, seed: int = 0) -> Fig18Result:
+    speedups: Dict[str, Tuple[float, float, float, float]] = {}
+    for app in apps:
+        comparison = compare_app(app, scale, seed)
+        base_cycles = comparison.default_metrics.total_cycles
+        if base_cycles <= 0:
+            speedups[app] = (1.0, 1.0, 1.0, 1.0)
+            continue
+
+        # S1: force the optimized L1 hit rate onto the default execution.
+        target_l1 = comparison.optimized_metrics.l1_hit_rate()
+        _, s1_metrics, _ = run_default(
+            app, scale, seed, sim_config=SimConfig(forced_l1_hit_rate=target_l1)
+        )
+        s1 = base_cycles / max(s1_metrics.total_cycles, 1e-9)
+
+        # S2: scale the default's network latencies by the optimized/default
+        # movement ratio.
+        base_movement = comparison.default_metrics.data_movement
+        opt_movement = comparison.optimized_metrics.data_movement
+        ratio = opt_movement / base_movement if base_movement else 1.0
+        _, s2_metrics, _ = run_default(
+            app, scale, seed, sim_config=SimConfig(hop_latency_scale=ratio)
+        )
+        s2 = base_cycles / max(s2_metrics.total_cycles, 1e-9)
+
+        # S3: grant the default the optimized degree of parallelism by
+        # scaling compute time (the same ops run spread over that many
+        # subcomputations).
+        parallelism = max(comparison.partition.average_parallelism(), 1.0)
+        _, s3_metrics, _ = run_default(
+            app, scale, seed, sim_config=SimConfig(compute_scale=1.0 / parallelism)
+        )
+        s3 = base_cycles / max(s3_metrics.total_cycles, 1e-9)
+
+        # S4: charge the default with the optimized version's sync count.
+        opt_syncs = comparison.optimized_metrics.sync_count
+        base_units = max(comparison.default_units, 1)
+        extra = SimConfig().sync_cycles * opt_syncs / base_units
+        _, s4_metrics, _ = run_default(
+            app, scale, seed,
+            sim_config=SimConfig(per_unit_overhead_cycles=extra),
+        )
+        s4 = base_cycles / max(s4_metrics.total_cycles, 1e-9)
+
+        speedups[app] = (s1, s2, s3, s4)
+    return Fig18Result(speedups)

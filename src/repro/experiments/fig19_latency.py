@@ -1,0 +1,36 @@
+"""Figure 19: reduction in average and maximum NoC latency.
+
+The maximum latency is the paper's congestion proxy; the point of the
+figure is that the approach does not create network bottlenecks — both
+statistics drop for every application.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.experiments.common import DEFAULT_APPS, compare_app, format_table
+
+
+@dataclass
+class Fig19Result:
+    reductions: Dict[str, Tuple[float, float]]  # app -> (avg, max)
+
+    def report(self) -> str:
+        rows = [
+            [app, f"{avg * 100:.1f}%", f"{worst * 100:.1f}%"]
+            for app, (avg, worst) in self.reductions.items()
+        ]
+        return (
+            "Figure 19: on-chip network latency reduction (avg / max)\n"
+            + format_table(["app", "avg latency", "max latency"], rows)
+        )
+
+
+def run(apps: List[str] = DEFAULT_APPS, scale: int = 1, seed: int = 0) -> Fig19Result:
+    reductions: Dict[str, Tuple[float, float]] = {}
+    for app in apps:
+        comparison = compare_app(app, scale, seed)
+        reductions[app] = comparison.network_latency_reduction()
+    return Fig19Result(reductions)

@@ -1,0 +1,57 @@
+"""Figure 20: execution time with fixed window sizes 1..8 vs adaptive.
+
+For each application: eight bars with the window size fixed for all nests,
+plus the adaptive per-nest choice (the paper's approach).  Expected shape:
+improvement rises with window size, peaks, then falls (L1 pollution), and
+the adaptive bar matches or beats the best fixed bar.  The adaptive run's
+split plan is held fixed so the sweep varies the window size only; the
+fixed-size runs are shared with Figure 21.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.experiments.common import (
+    DEFAULT_APPS,
+    compare_app,
+    fixed_window_metrics,
+    format_table,
+)
+
+
+@dataclass
+class Fig20Result:
+    # app -> {1:..8: fixed-size time reduction, 'adaptive': reduction}
+    reductions: Dict[str, Dict[str, float]]
+
+    def report(self) -> str:
+        sizes = [str(s) for s in range(1, 9)] + ["adaptive"]
+        rows = []
+        for app, values in self.reductions.items():
+            rows.append([app] + [f"{values.get(s, 0.0) * 100:+.1f}%" for s in sizes])
+        return (
+            "Figure 20: execution time reduction by window size\n"
+            + format_table(["app"] + sizes, rows)
+        )
+
+
+def run(
+    apps: List[str] = DEFAULT_APPS,
+    scale: int = 1,
+    seed: int = 0,
+    sizes: range = range(1, 9),
+    reuse_aware: bool = True,
+) -> Fig20Result:
+    reductions: Dict[str, Dict[str, float]] = {}
+    for app in apps:
+        comparison = compare_app(app, scale, seed)
+        base = comparison.default_metrics.total_cycles
+        per_app: Dict[str, float] = {}
+        for size in sizes:
+            metrics = fixed_window_metrics(app, size, scale, seed, reuse_aware)
+            per_app[str(size)] = (base - metrics.total_cycles) / base if base else 0.0
+        per_app["adaptive"] = comparison.time_reduction()
+        reductions[app] = per_app
+    return Fig20Result(reductions)

@@ -1,0 +1,77 @@
+"""Figure 22: results across KNL cluster modes and memory modes.
+
+Grid of (cluster mode A/B/C) x (memory mode X/Y/Z) x (original/optimized),
+normalized against (B,X,1) — the default quadrant+flat configuration
+running the original code.  Values are speedups (>1 is better).
+
+Paper observations reproduced here: (1) optimization helps in every
+configuration; (2) cluster-mode differences shrink under the optimization;
+(3) flat beats cache mode; (4) (C,X,2) is best overall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.arch.cluster_modes import ClusterMode
+from repro.arch.memory_modes import MemoryMode
+from repro.experiments.common import DEFAULT_APPS, compare_app, format_table
+from repro.utils.stats import geomean
+
+ConfigKey = Tuple[str, str, int]  # (cluster label, memory label, 1=orig 2=opt)
+
+
+@dataclass
+class Fig22Result:
+    # app -> {(cluster, memory, version) -> normalized performance}
+    grid: Dict[str, Dict[ConfigKey, float]]
+
+    def geomean_for(self, key: ConfigKey) -> float:
+        values = [max(per_app.get(key, 0.0), 1e-4) for per_app in self.grid.values()]
+        return geomean(values) if values else 0.0
+
+    def report(self) -> str:
+        keys: List[ConfigKey] = []
+        for cluster in "ABC":
+            for memory in "XY":
+                for version in (1, 2):
+                    keys.append((cluster, memory, version))
+        headers = ["app"] + [f"{c}{m}{v}" for c, m, v in keys]
+        rows = []
+        for app, values in self.grid.items():
+            rows.append([app] + [f"{values.get(k, 0.0):.2f}" for k in keys])
+        rows.append(["geomean"] + [f"{self.geomean_for(k):.2f}" for k in keys])
+        return (
+            "Figure 22: (cluster mode, memory mode, version) grid, normalized "
+            "to (B,X,1)\n" + format_table(headers, rows)
+        )
+
+
+def run(
+    apps: List[str] = DEFAULT_APPS,
+    scale: int = 1,
+    seed: int = 0,
+    clusters: Tuple[ClusterMode, ...] = (
+        ClusterMode.ALL_TO_ALL,
+        ClusterMode.QUADRANT,
+        ClusterMode.SNC4,
+    ),
+    memories: Tuple[MemoryMode, ...] = (MemoryMode.FLAT, MemoryMode.CACHE),
+) -> Fig22Result:
+    grid: Dict[str, Dict[ConfigKey, float]] = {}
+    for app in apps:
+        baseline = compare_app(app, scale, seed)  # (B,X): quadrant+flat
+        base_cycles = baseline.default_metrics.total_cycles
+        per_app: Dict[ConfigKey, float] = {}
+        for cluster in clusters:
+            for memory in memories:
+                comparison = compare_app(app, scale, seed, cluster, memory)
+                per_app[(cluster.label, memory.label, 1)] = base_cycles / max(
+                    comparison.default_metrics.total_cycles, 1e-9
+                )
+                per_app[(cluster.label, memory.label, 2)] = base_cycles / max(
+                    comparison.optimized_metrics.total_cycles, 1e-9
+                )
+        grid[app] = per_app
+    return Fig22Result(grid)

@@ -1,0 +1,67 @@
+"""Figure 24: energy reduction compared to the default placement.
+
+Energy comes from the simulator's event counts through the CACTI/McPAT-style
+constants (network flit-hops, cache accesses, DRAM accesses, ALU ops,
+synchronizations, static leakage x cycles).  Paper: ~23.1% average saving;
+the ideal-network and ideal-analysis scenarios bound it from above.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.baselines.ideal import ideal_network_config
+from repro.experiments.common import (
+    DEFAULT_APPS,
+    compare_app,
+    format_table,
+    paper_machine,
+)
+from repro.sim.engine import SimConfig, Simulator
+from repro.utils.stats import mean
+from repro.workloads import build_workload
+
+
+@dataclass
+class Fig24Result:
+    # app -> (ours, ideal network, ideal analysis) energy reductions
+    reductions: Dict[str, Tuple[float, float, float]]
+
+    def average(self) -> float:
+        return mean(r[0] for r in self.reductions.values())
+
+    def report(self) -> str:
+        rows = [
+            [app, f"{ours * 100:.1f}%", f"{net * 100:.1f}%", f"{ana * 100:.1f}%"]
+            for app, (ours, net, ana) in self.reductions.items()
+        ]
+        rows.append(["mean", f"{self.average() * 100:.1f}%", "", ""])
+        return (
+            "Figure 24: energy reduction (ours / ideal network / ideal "
+            "analysis)\n"
+            + format_table(["app", "ours", "ideal-net", "ideal-analysis"], rows)
+        )
+
+
+def run(apps: List[str] = DEFAULT_APPS, scale: int = 1, seed: int = 0) -> Fig24Result:
+    reductions: Dict[str, Tuple[float, float, float]] = {}
+    for app in apps:
+        comparison = compare_app(app, scale, seed)
+        base = comparison.default_metrics.energy_pj
+        ours = comparison.energy_reduction()
+
+        machine = paper_machine()
+        build_workload(app, scale, seed).declare_on(machine)
+        net_metrics = Simulator(machine, ideal_network_config()).run(
+            comparison.partition.units()
+        )
+        net = (base - net_metrics.energy_pj) / base if base else 0.0
+
+        from repro.experiments.common import ideal_analysis_metrics
+
+        ana_metrics = ideal_analysis_metrics(app, scale, seed)
+        ana = (base - ana_metrics.energy_pj) / base if base else 0.0
+
+        reductions[app] = (ours, max(net, ours), max(ana, ours))
+    return Fig24Result(reductions)

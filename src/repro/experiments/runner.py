@@ -1,0 +1,82 @@
+"""Run every experiment and emit a combined report.
+
+``python -m repro.experiments.runner [--apps a,b,c] [--scale N] [--quick]``
+prints each table/figure's report in paper order; ``--quick`` restricts to
+a 4-app subset for smoke runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, List, Tuple
+
+from repro.experiments import common
+from repro.experiments import (
+    fig13_movement,
+    fig14_parallelism,
+    fig15_syncs,
+    fig16_l1,
+    fig17_exec_time,
+    fig18_isolation,
+    fig19_latency,
+    fig20_window,
+    fig21_window_l1,
+    fig22_modes,
+    fig23_data_mapping,
+    fig24_energy,
+    table1_analyzable,
+    table2_predictor,
+    table3_opmix,
+)
+
+QUICK_APPS = ["barnes", "cholesky", "ocean", "minimd"]
+
+ALL_EXPERIMENTS: List[Tuple[str, Callable]] = [
+    ("Table 1", table1_analyzable.run),
+    ("Table 2", table2_predictor.run),
+    ("Table 3", table3_opmix.run),
+    ("Figure 13", fig13_movement.run),
+    ("Figure 14", fig14_parallelism.run),
+    ("Figure 15", fig15_syncs.run),
+    ("Figure 16", fig16_l1.run),
+    ("Figure 17", fig17_exec_time.run),
+    ("Figure 18", fig18_isolation.run),
+    ("Figure 19", fig19_latency.run),
+    ("Figure 20", fig20_window.run),
+    ("Figure 21", fig21_window_l1.run),
+    ("Figure 22", fig22_modes.run),
+    ("Figure 23", fig23_data_mapping.run),
+    ("Figure 24", fig24_energy.run),
+]
+
+
+def run_all(apps: List[str], scale: int = 1, seed: int = 0, out=sys.stdout) -> None:
+    for name, experiment in ALL_EXPERIMENTS:
+        started = time.time()
+        result = experiment(apps=apps, scale=scale, seed=seed)
+        elapsed = time.time() - started
+        print(f"\n=== {name} ({elapsed:.1f}s) ===", file=out)
+        print(result.report(), file=out)
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--apps", default="", help="comma-separated app subset")
+    parser.add_argument("--scale", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--quick", action="store_true", help="4-app smoke subset")
+    args = parser.parse_args(argv)
+    if args.apps:
+        apps = [a.strip() for a in args.apps.split(",") if a.strip()]
+    elif args.quick:
+        apps = QUICK_APPS
+    else:
+        apps = common.DEFAULT_APPS
+    run_all(apps, args.scale, args.seed)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,58 @@
+"""Table 3: operator mix of the computations our scheme re-maps.
+
+For every application, the fraction of re-mapped (off the default node)
+operations that are adds/subtracts vs multiplies/divides vs others.  Our IR
+has the four arithmetic operators; pure data forwards land in 'others'
+(the paper's 'others' are shifts/logicals in the original codes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.experiments.common import DEFAULT_APPS, compare_app, format_table
+
+PAPER_VALUES: Dict[str, Dict[str, float]] = {
+    "barnes": {"add/sub": 0.514, "mul/div": 0.262, "others": 0.224},
+    "cholesky": {"add/sub": 0.394, "mul/div": 0.476, "others": 0.130},
+    "fft": {"add/sub": 0.331, "mul/div": 0.465, "others": 0.204},
+    "fmm": {"add/sub": 0.472, "mul/div": 0.453, "others": 0.075},
+    "lu": {"add/sub": 0.418, "mul/div": 0.516, "others": 0.066},
+    "ocean": {"add/sub": 0.522, "mul/div": 0.414, "others": 0.064},
+    "radiosity": {"add/sub": 0.462, "mul/div": 0.334, "others": 0.204},
+    "radix": {"add/sub": 0.390, "mul/div": 0.387, "others": 0.223},
+    "raytrace": {"add/sub": 0.434, "mul/div": 0.497, "others": 0.069},
+    "water": {"add/sub": 0.581, "mul/div": 0.282, "others": 0.137},
+    "minimd": {"add/sub": 0.444, "mul/div": 0.372, "others": 0.184},
+    "minixyce": {"add/sub": 0.463, "mul/div": 0.367, "others": 0.170},
+}
+
+
+@dataclass
+class Table3Result:
+    mixes: Dict[str, Dict[str, float]]
+
+    def report(self) -> str:
+        rows = []
+        for app, mix in self.mixes.items():
+            paper = PAPER_VALUES.get(app, {})
+            rows.append([
+                app,
+                f"{mix['add/sub'] * 100:.1f}%",
+                f"{mix['mul/div'] * 100:.1f}%",
+                f"{mix['others'] * 100:.1f}%",
+                f"{paper.get('add/sub', 0) * 100:.0f}/{paper.get('mul/div', 0) * 100:.0f}/{paper.get('others', 0) * 100:.0f}",
+            ])
+        return (
+            "Table 3: operator mix of re-mapped computations\n"
+            + format_table(["app", "add/sub", "mul/div", "others", "paper"], rows)
+        )
+
+
+def run(apps: List[str] = DEFAULT_APPS, scale: int = 1, seed: int = 0) -> Table3Result:
+    mixes: Dict[str, Dict[str, float]] = {}
+    for app in apps:
+        comparison = compare_app(app, scale, seed)
+        mixes[app] = comparison.partition.remapped_op_fractions()
+    return Table3Result(mixes)

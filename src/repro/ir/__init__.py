@@ -1,0 +1,55 @@
+"""Compiler IR: expressions, statements, loop nests, dependences.
+
+The paper's compiler is an LLVM source-to-source pass over loop-dominated C
+programs; our substitute is a small explicit IR.  Statements are parsed from
+strings like ``"A(i) = B(i) + C(i) * (D(i) + E(i))"``; subscripts are affine
+expressions of loop variables, or indirect through an index array
+(``X(Y(i))``) for the irregular workloads.
+"""
+
+from repro.ir.expr import (
+    AffineIndex,
+    BinOp,
+    Const,
+    Expr,
+    IndirectIndex,
+    Ref,
+)
+from repro.ir.parser import parse_expr, parse_statement
+from repro.ir.statement import Access, Statement, StatementInstance
+from repro.ir.loop import Loop, LoopNest
+from repro.ir.program import ArrayDecl, Program
+from repro.ir.nested_sets import LeafOperand, OperandSet, build_operand_tree
+from repro.ir.dependence import (
+    Dependence,
+    DependenceKind,
+    analyzable_fraction,
+    instance_dependences,
+)
+from repro.ir.inspector import InspectorExecutor
+
+__all__ = [
+    "AffineIndex",
+    "BinOp",
+    "Const",
+    "Expr",
+    "IndirectIndex",
+    "Ref",
+    "parse_expr",
+    "parse_statement",
+    "Access",
+    "Statement",
+    "StatementInstance",
+    "Loop",
+    "LoopNest",
+    "ArrayDecl",
+    "Program",
+    "LeafOperand",
+    "OperandSet",
+    "build_operand_tree",
+    "Dependence",
+    "DependenceKind",
+    "analyzable_fraction",
+    "instance_dependences",
+    "InspectorExecutor",
+]

@@ -1,0 +1,201 @@
+"""Expression trees and array subscripts.
+
+Subscripts come in two shapes:
+
+* :class:`AffineIndex` — a linear function of the enclosing loop variables,
+  ``sum(coeff[v] * v) + const``.  These are the compile-time-analyzable
+  references of the paper's Table 1.
+* :class:`IndirectIndex` — a subscript that reads another array
+  (``X(Y(i))``), common in the irregular applications (Radix, Barnes, FMM).
+  These are *not* statically analyzable; the inspector-executor resolves
+  them at "runtime" (Section 4.5).
+
+Expressions are binary trees over :class:`Ref` and :class:`Const` with the
+four arithmetic operators; parenthesization survives parsing through the
+tree shape itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Mapping, Tuple, Union
+
+from repro.errors import DependenceError
+
+OPERATORS = ("+", "-", "*", "/")
+#: Operator precedence used by the parser and the nested-set builder.
+PRECEDENCE = {"+": 1, "-": 1, "*": 2, "/": 2}
+
+
+@dataclass(frozen=True)
+class AffineIndex:
+    """``sum(coeffs[var] * var) + const`` over loop variables."""
+
+    coeffs: Tuple[Tuple[str, int], ...] = ()
+    const: int = 0
+
+    @staticmethod
+    def of(var: str, coeff: int = 1, const: int = 0) -> "AffineIndex":
+        return AffineIndex(((var, coeff),), const)
+
+    @staticmethod
+    def constant(value: int) -> "AffineIndex":
+        return AffineIndex((), value)
+
+    def coeff_map(self) -> Dict[str, int]:
+        return dict(self.coeffs)
+
+    def evaluate(self, binding: Mapping[str, int]) -> int:
+        """Concrete index under a loop-variable ``binding``."""
+        total = self.const
+        for var, coeff in self.coeffs:
+            try:
+                total += coeff * binding[var]
+            except KeyError:
+                raise DependenceError(f"unbound loop variable {var!r}") from None
+        return total
+
+    @property
+    def is_analyzable(self) -> bool:
+        return True
+
+    def variables(self) -> Tuple[str, ...]:
+        return tuple(var for var, _ in self.coeffs)
+
+    def __str__(self) -> str:
+        parts = []
+        for var, coeff in self.coeffs:
+            if coeff == 1:
+                parts.append(var)
+            else:
+                parts.append(f"{coeff}*{var}")
+        if self.const or not parts:
+            parts.append(str(self.const))
+        return "+".join(parts).replace("+-", "-")
+
+
+@dataclass(frozen=True)
+class IndirectIndex:
+    """A subscript read through an index array: ``array(inner)``."""
+
+    array: str
+    inner: "AffineIndex"
+
+    def evaluate(self, binding: Mapping[str, int]) -> int:
+        raise DependenceError(
+            f"indirect subscript {self} needs runtime index data; "
+            "resolve through Program.resolve_index or the inspector"
+        )
+
+    @property
+    def is_analyzable(self) -> bool:
+        return False
+
+    def variables(self) -> Tuple[str, ...]:
+        return self.inner.variables()
+
+    def __str__(self) -> str:
+        return f"{self.array}({self.inner})"
+
+
+Index = Union[AffineIndex, IndirectIndex]
+
+
+class Expr:
+    """Base class of expression nodes."""
+
+    def refs(self) -> Iterator["Ref"]:
+        """All array references in the subtree, left to right."""
+        raise NotImplementedError
+
+    def operator_counts(self) -> Dict[str, int]:
+        """Count of each binary operator in the subtree."""
+        counts: Dict[str, int] = {}
+        for node in self.walk():
+            if isinstance(node, BinOp):
+                counts[node.op] = counts.get(node.op, 0) + 1
+        return counts
+
+    def walk(self) -> Iterator["Expr"]:
+        """Pre-order traversal of the subtree."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A numeric literal."""
+
+    value: float
+
+    def refs(self) -> Iterator["Ref"]:
+        return iter(())
+
+    def walk(self) -> Iterator[Expr]:
+        yield self
+
+    def __str__(self) -> str:
+        return f"{self.value:g}"
+
+
+@dataclass(frozen=True)
+class Ref(Expr):
+    """An array reference ``array(index0, index1, ...)``.
+
+    Multi-dimensional references carry one index per dimension; the program's
+    array declaration linearizes them row-major when instances are resolved.
+    """
+
+    array: str
+    indices: Tuple[Index, ...]
+
+    def refs(self) -> Iterator["Ref"]:
+        yield self
+
+    def walk(self) -> Iterator[Expr]:
+        yield self
+
+    @property
+    def is_analyzable(self) -> bool:
+        return all(index.is_analyzable for index in self.indices)
+
+    def variables(self) -> Tuple[str, ...]:
+        out = []
+        for index in self.indices:
+            out.extend(index.variables())
+        return tuple(out)
+
+    def __str__(self) -> str:
+        if not self.indices:
+            return self.array  # scalar
+        inner = ",".join(str(i) for i in self.indices)
+        return f"{self.array}({inner})"
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """A binary arithmetic operation."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self):
+        if self.op not in OPERATORS:
+            raise ValueError(f"unknown operator {self.op!r}")
+
+    def refs(self) -> Iterator[Ref]:
+        yield from self.left.refs()
+        yield from self.right.refs()
+
+    def walk(self) -> Iterator[Expr]:
+        yield self
+        yield from self.left.walk()
+        yield from self.right.walk()
+
+    def __str__(self) -> str:
+        def wrap(child: Expr) -> str:
+            if isinstance(child, BinOp) and PRECEDENCE[child.op] < PRECEDENCE[self.op]:
+                return f"({child})"
+            return str(child)
+
+        return f"{wrap(self.left)} {self.op} {wrap(self.right)}"

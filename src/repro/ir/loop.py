@@ -1,0 +1,101 @@
+"""Loops and loop nests.
+
+A :class:`LoopNest` is the unit the paper's compiler optimizes: a rectangular
+nest of counted loops with a list of body statements.  The adaptive window
+search (Section 4.4) picks one window size *per nest*.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.ir.statement import Statement
+
+
+@dataclass(frozen=True)
+class Loop:
+    """A counted loop ``for var in range(start, stop, step)``."""
+
+    var: str
+    start: int
+    stop: int
+    step: int = 1
+
+    def __post_init__(self):
+        if self.step == 0:
+            raise ConfigurationError(f"loop {self.var} has zero step")
+
+    def values(self) -> range:
+        return range(self.start, self.stop, self.step)
+
+    @property
+    def trip_count(self) -> int:
+        return len(self.values())
+
+    def __str__(self) -> str:
+        return f"for({self.var}={self.start}; {self.var}<{self.stop}; {self.var}+={self.step})"
+
+
+@dataclass(frozen=True)
+class LoopNest:
+    """A rectangular loop nest with a straight-line body of statements."""
+
+    loops: Tuple[Loop, ...]
+    body: Tuple[Statement, ...]
+    name: str = "nest"
+
+    def __post_init__(self):
+        if not self.loops:
+            raise ConfigurationError(f"loop nest {self.name!r} has no loops")
+        if not self.body:
+            raise ConfigurationError(f"loop nest {self.name!r} has an empty body")
+        seen = set()
+        for loop in self.loops:
+            if loop.var in seen:
+                raise ConfigurationError(
+                    f"loop nest {self.name!r} reuses variable {loop.var!r}"
+                )
+            seen.add(loop.var)
+
+    @staticmethod
+    def of(
+        loops: Sequence[Loop],
+        body: Sequence[Statement],
+        name: str = "nest",
+    ) -> "LoopNest":
+        return LoopNest(tuple(loops), tuple(body), name)
+
+    @property
+    def body_size(self) -> int:
+        return len(self.body)
+
+    @property
+    def trip_count(self) -> int:
+        """Total number of iterations of the whole nest."""
+        total = 1
+        for loop in self.loops:
+            total *= loop.trip_count
+        return total
+
+    @property
+    def instance_count(self) -> int:
+        """Total statement instances executed by the nest."""
+        return self.trip_count * self.body_size
+
+    def iterations(self) -> Iterator[Tuple[Tuple[str, int], ...]]:
+        """Lexicographic iteration-space walk yielding variable bindings."""
+        ranges = [loop.values() for loop in self.loops]
+        variables = [loop.var for loop in self.loops]
+        for point in itertools.product(*ranges):
+            yield tuple(zip(variables, point))
+
+    def variables(self) -> Tuple[str, ...]:
+        return tuple(loop.var for loop in self.loops)
+
+    def __str__(self) -> str:
+        header = " ".join(str(loop) for loop in self.loops)
+        body = "; ".join(str(s) for s in self.body)
+        return f"{self.name}: {header} {{ {body} }}"

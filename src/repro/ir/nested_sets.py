@@ -1,0 +1,196 @@
+"""Level-based nested operand sets (paper Section 4.2).
+
+``variable_parsing`` (Algorithm 1, line 5) classifies the data accessed by a
+statement into nested sets whose nesting reflects computation priority:
+parenthesized groups and higher-precedence chains must be computed before
+the surrounding lower-precedence operation, so they form inner sets.  The
+MST is built innermost set first; each finished inner set is treated as a
+single component at the next level (Kruskal's union-find carries over).
+
+For ``x = a * (b + c) + d * (e + f + g)`` the paper lists the flattened form
+``(a, (b, c), d, (e, f, g))``.  We build the slightly more structured
+``((a, (b, c)), (d, (e, f, g)))``: every set then corresponds to an
+associative chain of one precedence class, so *any* join order inside a set
+is a semantically valid partial reduction, which makes generated code
+correct by construction (subtraction and division are handled by marking
+members negated/inverted).  The paper's flat variant is available as
+``flatten_products=True`` for reproducing its worked example literally.
+
+Constants contribute an operation wherever their sibling lands but occupy no
+node on the network, so they are folded into the set's operation count
+rather than becoming members.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from repro.ir.expr import BinOp, Const, Expr, PRECEDENCE, Ref
+
+
+@dataclass(frozen=True)
+class LeafOperand:
+    """A data operand: the ``position``-th RHS reference of the statement.
+
+    ``negated``/``inverted`` record whether the member entered its chain via
+    ``-`` or ``/`` (cost: the paper charges division 10x an add/multiply).
+    """
+
+    position: int
+    ref: Ref
+    negated: bool = False
+    inverted: bool = False
+
+    @property
+    def member_count(self) -> int:
+        return 1
+
+    def leaves(self) -> Tuple["LeafOperand", ...]:
+        return (self,)
+
+    def __str__(self) -> str:
+        prefix = "-" if self.negated else ("1/" if self.inverted else "")
+        return f"{prefix}{self.ref}"
+
+
+@dataclass(frozen=True)
+class OperandSet:
+    """An associative chain of one precedence class.
+
+    ``op_kind`` is ``'+'`` (covering +/-) or ``'*'`` (covering */ /).
+    ``extra_ops`` counts operations against constants folded into the set.
+    """
+
+    op_kind: str
+    members: Tuple[Union["OperandSet", LeafOperand], ...]
+    negated: bool = False
+    inverted: bool = False
+    extra_ops: int = 0
+
+    @property
+    def member_count(self) -> int:
+        return len(self.members)
+
+    def leaves(self) -> Tuple[LeafOperand, ...]:
+        out: List[LeafOperand] = []
+        for member in self.members:
+            out.extend(member.leaves())
+        return tuple(out)
+
+    def operation_count(self) -> int:
+        """Binary ops needed to reduce this set (including nested sets)."""
+        count = max(len(self.members) - 1, 0) + self.extra_ops
+        for member in self.members:
+            if isinstance(member, OperandSet):
+                count += member.operation_count()
+        return count
+
+    def innermost_first(self) -> List["OperandSet"]:
+        """All sets, deepest first — the MST construction order."""
+        ordered: List[OperandSet] = []
+        for member in self.members:
+            if isinstance(member, OperandSet):
+                ordered.extend(member.innermost_first())
+        ordered.append(self)
+        return ordered
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(member) for member in self.members)
+        return f"({inner})"
+
+
+def _class_of(op: str) -> str:
+    return "+" if op in ("+", "-") else "*"
+
+
+def _build(expr: Expr, counter: List[int], flatten_products: bool):
+    """Recursive builder; returns LeafOperand | OperandSet | None (constant)."""
+    if isinstance(expr, Const):
+        return None
+    if isinstance(expr, Ref):
+        leaf = LeafOperand(counter[0], expr)
+        counter[0] += 1
+        return leaf
+    if not isinstance(expr, BinOp):
+        raise TypeError(f"unexpected expression node {type(expr).__name__}")
+
+    op_class = _class_of(expr.op)
+    members: List[Union[OperandSet, LeafOperand]] = []
+    extra_ops = 0
+
+    def absorb(node: Expr, mark: str) -> None:
+        """Flatten ``node`` into this chain; mark '' | 'neg' | 'inv'."""
+        nonlocal extra_ops
+        if isinstance(node, BinOp) and _class_of(node.op) == op_class:
+            # Same precedence class: splice its operands into this chain.
+            absorb(node.left, "")
+            right_mark = ""
+            if node.op == "-":
+                right_mark = "neg"
+            elif node.op == "/":
+                right_mark = "inv"
+            # A mark on the whole spliced chain composes with the child mark,
+            # but for movement/cost purposes only the op identity matters.
+            absorb(node.right, right_mark or mark)
+            return
+        built = _build(node, counter, flatten_products)
+        if built is None:
+            extra_ops += 1  # an op against a constant, no network node
+            return
+        if mark == "neg":
+            built = _with_flags(built, negated=True)
+        elif mark == "inv":
+            built = _with_flags(built, inverted=True)
+        members.append(built)
+
+    absorb(expr, "")
+
+    if flatten_products and op_class == "+":
+        # Paper-literal mode: splice each product chain's members directly
+        # into the surrounding sum, as in the (a, (b, c), d, (e, f, g))
+        # worked example.
+        spliced: List[Union[OperandSet, LeafOperand]] = []
+        for member in members:
+            if isinstance(member, OperandSet) and member.op_kind == "*":
+                spliced.extend(member.members)
+                extra_ops += member.extra_ops
+            else:
+                spliced.append(member)
+        members = spliced
+
+    if not members:
+        return None
+    if len(members) == 1 and extra_ops == 0:
+        return members[0]
+    return OperandSet(op_class, tuple(members), extra_ops=extra_ops)
+
+
+def _with_flags(node, negated: bool = False, inverted: bool = False):
+    if isinstance(node, LeafOperand):
+        return LeafOperand(node.position, node.ref, negated or node.negated, inverted or node.inverted)
+    return OperandSet(
+        node.op_kind,
+        node.members,
+        negated or node.negated,
+        inverted or node.inverted,
+        node.extra_ops,
+    )
+
+
+def build_operand_tree(
+    expr: Expr, flatten_products: bool = False
+) -> Optional[OperandSet]:
+    """Build the nested operand sets of a statement's RHS.
+
+    Returns None for an RHS with no array references (pure constant), and a
+    single-member set for a one-reference RHS (a plain copy/scale) so callers
+    always receive an :class:`OperandSet` when any data moves.
+    """
+    counter = [0]
+    built = _build(expr, counter, flatten_products)
+    if built is None:
+        return None
+    if isinstance(built, LeafOperand):
+        return OperandSet("+", (built,))
+    return built

@@ -1,0 +1,259 @@
+"""Recursive-descent parser for statements.
+
+Grammar (whitespace insensitive)::
+
+    statement := ref '=' expr
+    expr      := term (('+' | '-') term)*
+    term      := factor (('*' | '/') factor)*
+    factor    := ref | NUMBER | '(' expr ')'
+    ref       := NAME [ '(' index (',' index)* ')' ]    # bare NAME = scalar
+    index     := NAME '(' affine ')'                    # indirect subscript
+               | affine
+    affine    := ['-'] aterm (('+' | '-') aterm)*
+    aterm     := INT [ '*' NAME ] | NAME [ '*' INT ]
+
+Examples::
+
+    A(i) = B(i) + C(i) + D(i) + E(i)
+    x = a * (b + c) + d * (e + f + g)
+    A(i,j) = A(i-1,j) + A(i,j-1)
+    X(i) = X(i) + W(Y(i))
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.errors import ParseError
+from repro.ir.expr import (
+    AffineIndex,
+    BinOp,
+    Const,
+    Expr,
+    Index,
+    IndirectIndex,
+    Ref,
+)
+from repro.ir.statement import Statement
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<number>\d+\.\d+|\.\d+|\d+)|(?P<name>[A-Za-z_]\w*)|(?P<sym>[-+*/(),=]))"
+)
+
+
+class _Token:
+    __slots__ = ("kind", "text", "pos")
+
+    def __init__(self, kind: str, text: str, pos: int):
+        self.kind = kind
+        self.text = text
+        self.pos = pos
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.kind}:{self.text}"
+
+
+def _tokenize(source: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    pos = 0
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            if source[pos:].strip() == "":
+                break
+            raise ParseError("unexpected character", source, pos)
+        if match.lastgroup is None:  # pure whitespace tail
+            break
+        text = match.group(match.lastgroup)
+        tokens.append(_Token(match.lastgroup, text, match.start(match.lastgroup)))
+        pos = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, source: str):
+        self.source = source
+        self.tokens = _tokenize(source)
+        self.index = 0
+
+    # -- token helpers ----------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Optional[_Token]:
+        at = self.index + offset
+        return self.tokens[at] if at < len(self.tokens) else None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of input", self.source, len(self.source))
+        self.index += 1
+        return token
+
+    def _expect(self, text: str) -> _Token:
+        token = self._next()
+        if token.text != text:
+            raise ParseError(f"expected {text!r}, got {token.text!r}", self.source, token.pos)
+        return token
+
+    def _accept(self, text: str) -> bool:
+        token = self._peek()
+        if token is not None and token.text == text:
+            self.index += 1
+            return True
+        return False
+
+    # -- grammar ----------------------------------------------------------
+
+    def parse_statement(self) -> Statement:
+        lhs = self.parse_ref()
+        self._expect("=")
+        rhs = self.parse_expr()
+        self._check_done()
+        return Statement(lhs, rhs)
+
+    def parse_expr_entry(self) -> Expr:
+        expr = self.parse_expr()
+        self._check_done()
+        return expr
+
+    def _check_done(self) -> None:
+        token = self._peek()
+        if token is not None:
+            raise ParseError(f"trailing input {token.text!r}", self.source, token.pos)
+
+    def parse_expr(self) -> Expr:
+        left = self.parse_term()
+        while True:
+            token = self._peek()
+            if token is None or token.text not in ("+", "-"):
+                return left
+            self._next()
+            right = self.parse_term()
+            left = BinOp(token.text, left, right)
+
+    def parse_term(self) -> Expr:
+        left = self.parse_factor()
+        while True:
+            token = self._peek()
+            if token is None or token.text not in ("*", "/"):
+                return left
+            self._next()
+            right = self.parse_factor()
+            left = BinOp(token.text, left, right)
+
+    def parse_factor(self) -> Expr:
+        token = self._peek()
+        if token is None:
+            raise ParseError("expected a factor", self.source, len(self.source))
+        if token.text == "(":
+            self._next()
+            inner = self.parse_expr()
+            self._expect(")")
+            return inner
+        if token.kind == "number":
+            self._next()
+            return Const(float(token.text))
+        if token.kind == "name":
+            return self.parse_ref()
+        raise ParseError(f"unexpected token {token.text!r}", self.source, token.pos)
+
+    def parse_ref(self) -> Ref:
+        name_token = self._next()
+        if name_token.kind != "name":
+            raise ParseError(
+                f"expected an identifier, got {name_token.text!r}",
+                self.source,
+                name_token.pos,
+            )
+        following = self._peek()
+        if following is None or following.text != "(":
+            return Ref(name_token.text, ())  # scalar
+        self._expect("(")
+        indices = [self.parse_index()]
+        while self._accept(","):
+            indices.append(self.parse_index())
+        self._expect(")")
+        return Ref(name_token.text, tuple(indices))
+
+    def parse_index(self) -> Index:
+        token = self._peek()
+        after = self._peek(1)
+        if (
+            token is not None
+            and token.kind == "name"
+            and after is not None
+            and after.text == "("
+        ):
+            # Indirect subscript: NAME '(' affine ')'
+            array = self._next().text
+            self._expect("(")
+            inner = self.parse_affine()
+            self._expect(")")
+            return IndirectIndex(array, inner)
+        return self.parse_affine()
+
+    def parse_affine(self) -> AffineIndex:
+        coeffs: List[Tuple[str, int]] = []
+        const = 0
+        sign = 1
+        if self._accept("-"):
+            sign = -1
+        while True:
+            var, coeff = self._parse_affine_term()
+            if var is None:
+                const += sign * coeff
+            else:
+                coeffs.append((var, sign * coeff))
+            token = self._peek()
+            if token is not None and token.text in ("+", "-"):
+                sign = 1 if token.text == "+" else -1
+                self._next()
+                continue
+            break
+        merged: List[Tuple[str, int]] = []
+        seen = {}
+        for var, coeff in coeffs:
+            if var in seen:
+                seen[var] += coeff
+            else:
+                seen[var] = coeff
+                merged.append((var, 0))
+        merged = [(var, seen[var]) for var, _ in merged if seen[var] != 0]
+        return AffineIndex(tuple(merged), const)
+
+    def _parse_affine_term(self) -> Tuple[Optional[str], int]:
+        """One ``aterm``; returns (var or None, coefficient/constant)."""
+        token = self._next()
+        if token.kind == "number":
+            if "." in token.text:
+                raise ParseError("subscripts must be integers", self.source, token.pos)
+            value = int(token.text)
+            if self._accept("*"):
+                var_token = self._next()
+                if var_token.kind != "name":
+                    raise ParseError(
+                        "expected a loop variable after '*'", self.source, var_token.pos
+                    )
+                return var_token.text, value
+            return None, value
+        if token.kind == "name":
+            if self._accept("*"):
+                num_token = self._next()
+                if num_token.kind != "number" or "." in num_token.text:
+                    raise ParseError(
+                        "expected an integer after '*'", self.source, num_token.pos
+                    )
+                return token.text, int(num_token.text)
+            return token.text, 1
+        raise ParseError(f"unexpected token {token.text!r} in subscript", self.source, token.pos)
+
+
+def parse_statement(source: str) -> Statement:
+    """Parse ``"LHS = RHS"`` into a :class:`~repro.ir.statement.Statement`."""
+    return _Parser(source).parse_statement()
+
+
+def parse_expr(source: str) -> Expr:
+    """Parse an expression (no assignment)."""
+    return _Parser(source).parse_expr_entry()

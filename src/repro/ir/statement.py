@@ -1,0 +1,110 @@
+"""Statements, concrete accesses, and statement instances.
+
+A *statement* is the static program text (``A(i) = B(i) + C(i)``); a
+*statement instance* is its execution in one loop iteration (the paper's
+terminology, Section 3 footnote 2).  Instances carry fully-resolved
+:class:`Access` objects — (array, flat element index) pairs — which is what
+the partitioner's ``GetNode`` and the simulator operate on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Mapping, Optional, Tuple
+
+from repro.ir.expr import BinOp, Expr, Ref
+
+
+@dataclass(frozen=True)
+class Access:
+    """A concrete element access: ``array[index]``."""
+
+    array: str
+    index: int
+
+    def key(self) -> Tuple[str, int]:
+        return (self.array, self.index)
+
+    def __str__(self) -> str:
+        return f"{self.array}[{self.index}]"
+
+
+@dataclass(frozen=True)
+class Statement:
+    """A static assignment statement ``lhs = rhs``."""
+
+    lhs: Ref
+    rhs: Expr
+    label: str = ""
+
+    def refs(self) -> Iterator[Ref]:
+        """LHS first, then RHS references left-to-right."""
+        yield self.lhs
+        yield from self.rhs.refs()
+
+    def input_refs(self) -> Tuple[Ref, ...]:
+        return tuple(self.rhs.refs())
+
+    @property
+    def is_analyzable(self) -> bool:
+        """True when every subscript is an affine function of loop vars."""
+        return all(ref.is_analyzable for ref in self.refs())
+
+    def operator_counts(self) -> Dict[str, int]:
+        return self.rhs.operator_counts()
+
+    def operation_count(self) -> int:
+        return sum(self.operator_counts().values())
+
+    def variables(self) -> Tuple[str, ...]:
+        seen = []
+        for ref in self.refs():
+            for var in ref.variables():
+                if var not in seen:
+                    seen.append(var)
+        return tuple(seen)
+
+    def __str__(self) -> str:
+        text = f"{self.lhs} = {self.rhs}"
+        return f"{self.label}: {text}" if self.label else text
+
+
+@dataclass(frozen=True)
+class StatementInstance:
+    """One execution of a statement under a concrete loop binding.
+
+    ``seq`` is the global execution ordinal of the instance within its
+    program (window grouping operates on consecutive ``seq`` values);
+    ``reads``/``write`` are the resolved accesses; ``read_of`` maps each RHS
+    Ref occurrence position to its access, so the operand tree can attach
+    locations to structurally-identical references.
+    """
+
+    statement: Statement
+    binding: Tuple[Tuple[str, int], ...]
+    seq: int
+    reads: Tuple[Access, ...]
+    write: Access
+    nest_name: str = ""
+    iteration: Tuple[int, ...] = ()
+    body_index: int = 0  # position of the static statement in its loop body
+
+    @property
+    def static_key(self) -> Tuple[str, int]:
+        """Identity of the static statement this instance executes."""
+        return (self.nest_name, self.body_index)
+
+    def binding_map(self) -> Dict[str, int]:
+        return dict(self.binding)
+
+    def accesses(self) -> Tuple[Access, ...]:
+        """All accesses, reads first then the write."""
+        return self.reads + (self.write,)
+
+    def read_for_position(self, position: int) -> Access:
+        """Access of the ``position``-th RHS reference (left-to-right)."""
+        return self.reads[position]
+
+    def __str__(self) -> str:
+        bind = ",".join(f"{var}={val}" for var, val in self.binding)
+        return f"{self.statement}  @[{bind}]"

@@ -1,0 +1,32 @@
+"""Memory substrate: physical address mapping, page allocation, data layout.
+
+Implements the paper's Figure 2 address mappings (cacheline-granularity over
+L2 banks, page-granularity over memory channels/ranks/banks), the OS page
+allocator modified to preserve cache-bank and channel bits during VA->PA
+translation (Section 4.1), and the layout of program arrays onto SNUCA home
+banks.
+"""
+
+from repro.mem.address import (
+    AddressMapping,
+    BitField,
+    CacheLineInterleaving,
+    PageInterleaving,
+)
+from repro.mem.page_alloc import PageAllocator, TranslationEntry
+from repro.mem.layout import ArraySpec, DataLayout
+from repro.mem.dram import DramParams, MCDRAM_PARAMS, DDR4_PARAMS
+
+__all__ = [
+    "AddressMapping",
+    "BitField",
+    "CacheLineInterleaving",
+    "PageInterleaving",
+    "PageAllocator",
+    "TranslationEntry",
+    "ArraySpec",
+    "DataLayout",
+    "DramParams",
+    "MCDRAM_PARAMS",
+    "DDR4_PARAMS",
+]

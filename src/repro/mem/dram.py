@@ -1,0 +1,33 @@
+"""Off-chip / on-package memory timing parameters.
+
+KNL has two memory types (paper Section 6.1): conventional DDR4 and
+on-package high-bandwidth MCDRAM.  The simulator only needs coarse latency
+and energy-per-access constants; bandwidth shows up implicitly through the
+NoC serialization term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DramParams:
+    """Latency/energy constants of a memory technology."""
+
+    name: str
+    access_cycles: float
+    energy_pj_per_access: float
+
+    def scaled(self, latency_factor: float) -> "DramParams":
+        """A copy with access latency scaled (used in sensitivity sweeps)."""
+        return DramParams(
+            self.name, self.access_cycles * latency_factor, self.energy_pj_per_access
+        )
+
+
+# Rough KNL-class constants: MCDRAM trades a similar (slightly better) latency
+# with much higher bandwidth; we give it a modest latency edge and lower
+# per-access energy, which is what the relative comparisons need.
+DDR4_PARAMS = DramParams(name="ddr4", access_cycles=180.0, energy_pj_per_access=60.0)
+MCDRAM_PARAMS = DramParams(name="mcdram", access_cycles=150.0, energy_pj_per_access=40.0)

@@ -1,0 +1,143 @@
+"""Layout of program arrays in the virtual address space.
+
+Workloads declare arrays (:class:`ArraySpec`); the layout assigns each a
+page-aligned base virtual address, translates element indices through the
+color-preserving :class:`~repro.mem.page_alloc.PageAllocator`, and exposes
+the SNUCA home L2 bank and memory channel of every element.  This is the
+"data location detection" substrate behind ``GetNode`` (Algorithm 1 line 11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import MappingError
+from repro.mem.address import AddressMapping
+from repro.mem.page_alloc import PageAllocator
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """A program array: name, element count, element size in bytes.
+
+    ``bank_phase`` pins the L2 bank of the array's first block (the paper's
+    OS page-coloring support gives allocation control over the bank bits,
+    Section 4.1); None picks a default stagger by declaration order.
+    Co-phased arrays put same-index elements on the same/nearby banks — the
+    NDP-friendly layout that keeps a statement's MST short.
+    """
+
+    name: str
+    length: int
+    element_size: int = 8
+    bank_phase: Optional[int] = None
+
+    @property
+    def byte_size(self) -> int:
+        return self.length * self.element_size
+
+
+class DataLayout:
+    """Assigns arrays to virtual addresses and resolves element locations."""
+
+    def __init__(self, mapping: Optional[AddressMapping] = None):
+        self.mapping = mapping or AddressMapping.default()
+        self.allocator = PageAllocator(self.mapping)
+        self._arrays: Dict[str, ArraySpec] = {}
+        self._bases: Dict[str, int] = {}
+        self._cursor = 0  # next free virtual byte, page aligned
+
+    # -- declaration ------------------------------------------------------
+
+    def add_array(self, spec: ArraySpec) -> int:
+        """Register ``spec`` and return its base virtual address.
+
+        Arrays are laid out back to back with a guard page between them, and
+        each base is staggered by a few cache lines past its page boundary.
+        The stagger mirrors what real allocators do (metadata headers,
+        alignment slack) and matters: with 4KB pages and a virtually-indexed
+        L1 whose sets x line == page size, perfectly page-aligned arrays
+        would alias every array's element i into the same L1 set and thrash.
+        """
+        if spec.name in self._arrays:
+            raise MappingError(f"array {spec.name!r} declared twice")
+        page = self.mapping.memory.page_size
+        line = self.mapping.l2.line_size
+        ordinal = len(self._arrays)
+        if spec.bank_phase is not None:
+            phase = spec.bank_phase % self.mapping.l2.bank_count
+        else:
+            phase = (ordinal * 3 + 1) % max(page // line, 1)
+        stagger = phase * line
+        base = self._cursor + stagger
+        self._arrays[spec.name] = spec
+        self._bases[spec.name] = base
+        span = ((stagger + spec.byte_size + page - 1) // page + 1) * page
+        self._cursor += span
+        return base
+
+    def declare(
+        self,
+        name: str,
+        length: int,
+        element_size: int = 8,
+        bank_phase: Optional[int] = None,
+    ) -> int:
+        """Convenience wrapper around :meth:`add_array`."""
+        return self.add_array(ArraySpec(name, length, element_size, bank_phase))
+
+    def has_array(self, name: str) -> bool:
+        return name in self._arrays
+
+    def arrays(self) -> List[ArraySpec]:
+        return list(self._arrays.values())
+
+    def spec(self, name: str) -> ArraySpec:
+        try:
+            return self._arrays[name]
+        except KeyError:
+            raise MappingError(f"unknown array {name!r}") from None
+
+    # -- address resolution -----------------------------------------------
+
+    def va_of(self, name: str, index: int) -> int:
+        """Virtual address of ``name[index]``."""
+        spec = self.spec(name)
+        if not 0 <= index < spec.length:
+            raise MappingError(
+                f"index {index} out of bounds for {name!r} (length {spec.length})"
+            )
+        return self._bases[name] + index * spec.element_size
+
+    def pa_of(self, name: str, index: int) -> int:
+        """Physical address of ``name[index]`` (allocates frame on demand)."""
+        return self.allocator.translate(self.va_of(name, index))
+
+    def block_of(self, name: str, index: int) -> int:
+        """Cache-block (line) number holding ``name[index]``.
+
+        Computed on the physical address; elements in the same block exhibit
+        the spatial locality the paper exploits (Figure 12's D(i)/D(i+1)).
+        """
+        return self.mapping.l2.block_of(self.pa_of(name, index))
+
+    def l2_bank_of(self, name: str, index: int) -> int:
+        """SNUCA home L2 bank of ``name[index]``."""
+        return self.mapping.l2.bank_of(self.pa_of(name, index))
+
+    def channel_of(self, name: str, index: int) -> int:
+        """Memory channel (controller) owning ``name[index]``'s page."""
+        return self.mapping.memory.channel_of(self.pa_of(name, index))
+
+    def page_of(self, name: str, index: int) -> int:
+        """Physical page number of ``name[index]``."""
+        return self.mapping.memory.page_of(self.pa_of(name, index))
+
+    def same_block(self, a_name: str, a_index: int, b_name: str, b_index: int) -> bool:
+        """True when the two elements share a cache block."""
+        return self.block_of(a_name, a_index) == self.block_of(b_name, b_index)
+
+    def total_bytes(self) -> int:
+        """Sum of declared array footprints."""
+        return sum(spec.byte_size for spec in self._arrays.values())

@@ -1,0 +1,124 @@
+"""OS page allocator with bit-preserving page coloring (paper Section 4.1).
+
+The compiler infers on-chip data location from *virtual* addresses.  For that
+to be sound, the VA->PA translation must not disturb the L2 bank bits or the
+memory channel bits.  The paper modifies the OS page-coloring allocator to
+preserve those bits; this module models that allocator.
+
+The allocator maintains free lists of physical frames indexed by *color*,
+where a frame's color is the tuple of (bank bits within the page-relative
+part, channel bits) that the mapping derives from its address.  An allocation
+request for a virtual page is served from the free list whose color matches
+the virtual address, so ``bank(PA) == bank(VA)`` and ``channel(PA) ==
+channel(VA)`` for every translated address.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import MappingError
+from repro.mem.address import AddressMapping
+
+
+@dataclass(frozen=True)
+class TranslationEntry:
+    """One page-table entry: virtual page -> physical frame."""
+
+    virtual_page: int
+    physical_frame: int
+    color: Tuple[int, ...]
+
+
+class PageAllocator:
+    """Color-preserving physical page allocator.
+
+    ``frame_count`` bounds physical memory; frames are handed out in
+    ascending order within each color class, which makes allocation
+    deterministic.
+    """
+
+    def __init__(self, mapping: AddressMapping, frame_count: int = 1 << 20):
+        self.mapping = mapping
+        self.frame_count = frame_count
+        self._page_table: Dict[int, TranslationEntry] = {}
+        self._free: Dict[Tuple[int, ...], List[int]] = {}
+        self._scan_cursor = 0
+
+    def color_of_page(self, page_number: int) -> Tuple[int, ...]:
+        """Color of a page: (channel bits, the page's L2 bank contribution).
+
+        Preserving the channel bits keeps every address on its virtual
+        memory controller; preserving the page's (XOR-linear) bank
+        contribution keeps every line of the page in its virtual L2 bank.
+        Together these are exactly the bits Section 4.1's modified OS
+        allocator promises not to disturb.
+        """
+        page_size = self.mapping.memory.page_size
+        address = page_number * page_size
+        return (
+            self.mapping.memory.channel_of(address),
+            self.mapping.l2.page_bank_contribution(address, page_size),
+        )
+
+    def translate_page(self, virtual_page: int) -> TranslationEntry:
+        """Allocate (or look up) the frame backing ``virtual_page``."""
+        entry = self._page_table.get(virtual_page)
+        if entry is not None:
+            return entry
+        color = self.color_of_page(virtual_page)
+        frame = self._take_frame(color)
+        entry = TranslationEntry(virtual_page, frame, color)
+        self._page_table[virtual_page] = entry
+        return entry
+
+    def translate(self, virtual_address: int) -> int:
+        """VA -> PA, allocating the backing frame on first touch."""
+        page_size = self.mapping.memory.page_size
+        page, offset = divmod(virtual_address, page_size)
+        entry = self.translate_page(page)
+        return entry.physical_frame * page_size + offset
+
+    @property
+    def mapped_page_count(self) -> int:
+        return len(self._page_table)
+
+    def preserves_location_bits(self, virtual_address: int) -> bool:
+        """Check the allocator invariant for one address (used in tests)."""
+        physical = self.translate(virtual_address)
+        same_bank = self.mapping.l2.bank_of(physical) == self.mapping.l2.bank_of(
+            virtual_address
+        )
+        same_channel = self.mapping.memory.channel_of(
+            physical
+        ) == self.mapping.memory.channel_of(virtual_address)
+        return same_bank and same_channel
+
+    def _take_frame(self, color: Tuple[int, ...]) -> int:
+        free = self._free.setdefault(color, [])
+        if not free:
+            self._refill(color)
+            free = self._free[color]
+        if not free:
+            raise MappingError(f"out of physical frames of color {color}")
+        return free.pop()
+
+    def _refill(self, color: Tuple[int, ...], batch: int = 256) -> None:
+        """Scan forward through physical frames collecting ones of ``color``.
+
+        Frames of other colors encountered during the scan are banked in
+        their own free lists so no frame is ever skipped permanently.
+        """
+        found = 0
+        while self._scan_cursor < self.frame_count and found < batch:
+            frame = self._scan_cursor
+            self._scan_cursor += 1
+            frame_color = self.color_of_page(frame)
+            self._free.setdefault(frame_color, []).append(frame)
+            if frame_color == color:
+                found += 1
+        # Pop order should be ascending: lists were appended ascending, and
+        # we pop from the end, so reverse to keep determinism simple.
+        for frames in self._free.values():
+            frames.sort(reverse=True)

@@ -1,0 +1,90 @@
+"""Network latency model.
+
+Message latency = per-router pipeline delay x hop count + serialization,
+inflated by a congestion factor derived from the running per-link load.
+This is the component isolated by the paper's Figure 19 (average and maximum
+on-chip network latency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.noc.topology import Mesh2D
+from repro.noc.traffic import TrafficMatrix
+
+
+@dataclass(frozen=True)
+class NetworkParams:
+    """Tunable constants of the mesh latency model.
+
+    ``router_cycles`` is the per-hop router+link pipeline latency,
+    ``serialization_cycles`` the payload serialization cost per message, and
+    ``congestion_weight`` scales how strongly per-link load above the mean
+    inflates latency.  Defaults approximate a KNL-class mesh (a handful of
+    cycles per hop).
+    """
+
+    router_cycles: float = 3.0
+    serialization_cycles: float = 1.0
+    congestion_weight: float = 1.0
+    congestion_reference: float = 64.0  # flits per link considered "loaded"
+
+
+class NetworkModel:
+    """Computes message latencies and tracks latency statistics."""
+
+    def __init__(self, mesh: Mesh2D, params: NetworkParams = NetworkParams()):
+        self.mesh = mesh
+        self.params = params
+        self.traffic = TrafficMatrix(mesh)
+        self._latencies: List[float] = []
+
+    def congestion_factor(self, src: int, dst: int) -> float:
+        """Multiplier >= 1 reflecting load on the message's route.
+
+        Uses the max per-link flit count already recorded along the XY route,
+        normalized by ``congestion_reference``.  A quiet network returns 1.0.
+        """
+        from repro.noc.routing import xy_route_links
+
+        links = xy_route_links(self.mesh, src, dst)
+        if not links:
+            return 1.0
+        worst = max(self.traffic.flits_on(a, b) for a, b in links)
+        load = worst / self.params.congestion_reference
+        return 1.0 + self.params.congestion_weight * load
+
+    def send(self, src: int, dst: int, flits: int = 1) -> float:
+        """Record a message and return its latency in cycles.
+
+        A local message (src == dst) costs nothing on the network.
+        """
+        if src == dst:
+            return 0.0
+        factor = self.congestion_factor(src, dst)
+        hops = self.traffic.record(src, dst, flits)
+        latency = factor * (
+            hops * self.params.router_cycles
+            + flits * self.params.serialization_cycles
+        )
+        self._latencies.append(latency)
+        return latency
+
+    def average_latency(self) -> float:
+        """Mean latency over all non-local messages so far."""
+        if not self._latencies:
+            return 0.0
+        return sum(self._latencies) / len(self._latencies)
+
+    def max_latency(self) -> float:
+        """Maximum message latency so far (the paper's congestion proxy)."""
+        return max(self._latencies, default=0.0)
+
+    def message_count(self) -> int:
+        return len(self._latencies)
+
+    def reset(self) -> None:
+        self.traffic.reset()
+        self._latencies.clear()

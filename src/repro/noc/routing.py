@@ -1,0 +1,45 @@
+"""Dimension-ordered (XY) routing over the 2D mesh.
+
+KNL's mesh routes packets first along rows then along columns; we use the
+same deterministic XY routing so two messages between the same endpoints
+always use the same links, which is what makes the paper's "overlapping
+network paths" observation (Figure 3) well defined.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.noc.topology import Coord, Mesh2D
+
+# A link is a directed pair of adjacent node ids.
+LinkId = Tuple[int, int]
+
+
+def xy_route_nodes(mesh: Mesh2D, src: int, dst: int) -> List[int]:
+    """The node ids visited routing from ``src`` to ``dst`` (inclusive).
+
+    X dimension is corrected first, then Y, matching hardware XY routing.
+    """
+    path = [src]
+    cur = mesh.coord_of(src)
+    target = mesh.coord_of(dst)
+    while cur.x != target.x:
+        step = 1 if target.x > cur.x else -1
+        cur = Coord(cur.x + step, cur.y)
+        path.append(mesh.id_of(cur))
+    while cur.y != target.y:
+        step = 1 if target.y > cur.y else -1
+        cur = Coord(cur.x, cur.y + step)
+        path.append(mesh.id_of(cur))
+    return path
+
+
+def xy_route_links(mesh: Mesh2D, src: int, dst: int) -> List[LinkId]:
+    """The directed links traversed routing from ``src`` to ``dst``.
+
+    The length of the returned list equals the Manhattan distance, so link
+    accounting and the paper's data-movement metric agree by construction.
+    """
+    nodes = xy_route_nodes(mesh, src, dst)
+    return [(nodes[i], nodes[i + 1]) for i in range(len(nodes) - 1)]

@@ -1,0 +1,128 @@
+"""2D mesh topology and Manhattan-distance geometry (paper Section 2).
+
+Nodes are labelled ``(x, y)`` exactly as in the paper's Figure 1, with ``x``
+the column and ``y`` the row.  The data movement distance between nodes is
+
+    MD(n_ij, n_xy) = |i - x| + |j - y|
+
+which is the minimum number of mesh links a message must traverse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True, order=True)
+class Coord:
+    """A node location ``(x, y)`` on the mesh."""
+
+    x: int
+    y: int
+
+    def manhattan(self, other: "Coord") -> int:
+        """Minimum number of links between this node and ``other``."""
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+    def __str__(self) -> str:
+        return f"({self.x},{self.y})"
+
+
+class Mesh2D:
+    """An ``cols x rows`` mesh of nodes with row-major integer node ids.
+
+    Node id 0 is ``(0, 0)`` (bottom-left by convention), and ids increase
+    along x first:  ``node_id = y * cols + x``.
+    """
+
+    def __init__(self, cols: int, rows: int):
+        if cols < 1 or rows < 1:
+            raise ConfigurationError(f"mesh dimensions must be >= 1, got {cols}x{rows}")
+        self.cols = cols
+        self.rows = rows
+
+    @property
+    def node_count(self) -> int:
+        return self.cols * self.rows
+
+    def coord_of(self, node_id: int) -> Coord:
+        """Coordinate of ``node_id`` (row-major)."""
+        self._check_id(node_id)
+        return Coord(node_id % self.cols, node_id // self.cols)
+
+    def id_of(self, coord: Coord) -> int:
+        """Node id of ``coord``."""
+        if not self.contains(coord):
+            raise ConfigurationError(f"coordinate {coord} outside {self.cols}x{self.rows} mesh")
+        return coord.y * self.cols + coord.x
+
+    def contains(self, coord: Coord) -> bool:
+        return 0 <= coord.x < self.cols and 0 <= coord.y < self.rows
+
+    def distance(self, a: int, b: int) -> int:
+        """Manhattan distance (hop count) between node ids ``a`` and ``b``."""
+        return self.coord_of(a).manhattan(self.coord_of(b))
+
+    def coords(self) -> Iterator[Coord]:
+        """All node coordinates in id order."""
+        for node_id in range(self.node_count):
+            yield self.coord_of(node_id)
+
+    def neighbors(self, node_id: int) -> List[int]:
+        """Node ids adjacent (one link away) to ``node_id``."""
+        c = self.coord_of(node_id)
+        result = []
+        for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+            n = Coord(c.x + dx, c.y + dy)
+            if self.contains(n):
+                result.append(self.id_of(n))
+        return result
+
+    def corner_ids(self) -> Tuple[int, int, int, int]:
+        """The four corner node ids (paper attaches MCs to the corners)."""
+        return (
+            self.id_of(Coord(0, 0)),
+            self.id_of(Coord(self.cols - 1, 0)),
+            self.id_of(Coord(0, self.rows - 1)),
+            self.id_of(Coord(self.cols - 1, self.rows - 1)),
+        )
+
+    def quadrant_of(self, node_id: int) -> int:
+        """Quadrant index 0..3 of a node (used by KNL quadrant/SNC-4 modes).
+
+        Quadrants split the mesh at the column/row midpoints; for odd
+        dimensions the extra column/row joins the higher quadrant, which
+        keeps every node in exactly one quadrant.
+        """
+        c = self.coord_of(node_id)
+        half_x = self.cols // 2
+        half_y = self.rows // 2
+        qx = 0 if c.x < half_x else 1
+        qy = 0 if c.y < half_y else 1
+        return qy * 2 + qx
+
+    def nodes_in_quadrant(self, quadrant: int) -> List[int]:
+        """All node ids whose :meth:`quadrant_of` equals ``quadrant``."""
+        if not 0 <= quadrant <= 3:
+            raise ConfigurationError(f"quadrant must be 0..3, got {quadrant}")
+        return [n for n in range(self.node_count) if self.quadrant_of(n) == quadrant]
+
+    def diameter(self) -> int:
+        """Longest shortest-path distance on the mesh."""
+        return (self.cols - 1) + (self.rows - 1)
+
+    def center_id(self) -> int:
+        """Id of the (floor-)central node."""
+        return self.id_of(Coord(self.cols // 2, self.rows // 2))
+
+    def __repr__(self) -> str:
+        return f"Mesh2D({self.cols}x{self.rows})"
+
+    def _check_id(self, node_id: int) -> None:
+        if not 0 <= node_id < self.node_count:
+            raise ConfigurationError(
+                f"node id {node_id} outside mesh with {self.node_count} nodes"
+            )

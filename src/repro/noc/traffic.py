@@ -1,0 +1,90 @@
+"""Link-level traffic accounting.
+
+The simulator records every message as flit-traversals on the directed links
+of its XY route.  Per-link utilization feeds the congestion component of the
+latency model (the paper notes on-chip latency is a function of link count,
+data volume, and congestion — Section 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+from repro.noc.routing import LinkId, xy_route_links
+from repro.noc.topology import Mesh2D
+
+
+@dataclass(frozen=True)
+class Link:
+    """A directed mesh link with an accumulated traffic count."""
+
+    src: int
+    dst: int
+    flits: int
+
+
+@dataclass
+class TrafficMatrix:
+    """Accumulates per-link flit counts for a simulation run."""
+
+    mesh: Mesh2D
+    _flits: Dict[LinkId, int] = field(default_factory=dict)
+    total_messages: int = 0
+    total_hops: int = 0
+    total_flit_hops: int = 0
+
+    def record(self, src: int, dst: int, flits: int = 1) -> int:
+        """Record a ``flits``-sized message from ``src`` to ``dst``.
+
+        Returns the hop count (0 when src == dst; local accesses use no
+        links and contribute no traffic).
+        """
+        links = xy_route_links(self.mesh, src, dst)
+        for link in links:
+            self._flits[link] = self._flits.get(link, 0) + flits
+        self.total_messages += 1
+        self.total_hops += len(links)
+        self.total_flit_hops += len(links) * flits
+        return len(links)
+
+    def flits_on(self, src: int, dst: int) -> int:
+        """Traffic recorded on the directed link ``src -> dst``."""
+        return self._flits.get((src, dst), 0)
+
+    def links(self) -> List[Link]:
+        """All links with nonzero traffic, ordered by (src, dst)."""
+        return [
+            Link(src, dst, flits)
+            for (src, dst), flits in sorted(self._flits.items())
+        ]
+
+    def max_link_load(self) -> int:
+        """Heaviest per-link flit count (congestion hot spot)."""
+        return max(self._flits.values(), default=0)
+
+    def mean_link_load(self) -> float:
+        """Average flits per *used* link (0.0 if no traffic)."""
+        if not self._flits:
+            return 0.0
+        return sum(self._flits.values()) / len(self._flits)
+
+    def utilization(self, link: LinkId) -> float:
+        """Fraction of total flit-hops carried by ``link``."""
+        if self.total_flit_hops == 0:
+            return 0.0
+        return self._flits.get(link, 0) / self.total_flit_hops
+
+    def merge(self, other: "TrafficMatrix") -> None:
+        """Fold another matrix (e.g. from a different phase) into this one."""
+        for (link, flits) in other._flits.items():
+            self._flits[link] = self._flits.get(link, 0) + flits
+        self.total_messages += other.total_messages
+        self.total_hops += other.total_hops
+        self.total_flit_hops += other.total_flit_hops
+
+    def reset(self) -> None:
+        self._flits.clear()
+        self.total_messages = 0
+        self.total_hops = 0
+        self.total_flit_hops = 0

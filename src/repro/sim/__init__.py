@@ -1,0 +1,31 @@
+"""Execution simulation (the GEM5-style platform of paper Section 6.2).
+
+The simulator executes a *schedule* — a list of
+:class:`~repro.core.subcomputation.Subcomputation` units (either from the
+NDP partitioner or from a baseline placement) — on a
+:class:`~repro.arch.machine.Machine`, charging:
+
+* memory access latency through real per-node L1 caches and distributed L2
+  banks (cache contents are simulated, not the compiler's model);
+* NoC hops with congestion (XY routing over the mesh, per-link traffic);
+* DRAM/MCDRAM latency behind L2 misses, per the active memory mode;
+* compute cycles per operation (division 10x) and synchronization overhead
+  for cross-node result messages and cross-node dependences.
+
+It reports the metrics behind every figure of the evaluation: total cycles,
+per-statement data movement, L1/L2 hit rates, average/maximum network
+latency, sync counts, and energy.
+"""
+
+from repro.sim.metrics import SimMetrics
+from repro.sim.energy import EnergyModel, EnergyParams
+from repro.sim.engine import SimConfig, Simulator, run_schedule
+
+__all__ = [
+    "SimMetrics",
+    "EnergyModel",
+    "EnergyParams",
+    "SimConfig",
+    "Simulator",
+    "run_schedule",
+]

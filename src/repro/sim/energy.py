@@ -1,0 +1,60 @@
+"""Energy model (paper Section 6.6, Figure 24).
+
+The paper feeds its simulator's event counts through CACTI and McPAT; we
+apply per-event energy constants to the same counts.  Relative savings —
+the only thing Figure 24 reports — depend on the count *deltas* between the
+default and optimized schedules, which this preserves.
+
+Constants are order-of-magnitude figures for a 14nm manycore: a few pJ per
+cache access and per link traversal, tens of pJ per DRAM access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class EnergyParams:
+    """Per-event energy constants in picojoules."""
+
+    link_hop_pj: float = 2.0          # one flit over one mesh link
+    router_pj: float = 1.5            # router traversal per hop
+    l1_access_pj: float = 1.0
+    l2_access_pj: float = 6.0
+    op_pj: float = 0.8                # one ALU op (division weighted by cost)
+    sync_pj: float = 4.0              # one point-to-point synchronization
+    static_pj_per_cycle: float = 0.5  # chip-wide leakage per cycle
+
+
+class EnergyModel:
+    """Computes total energy from a metrics snapshot."""
+
+    def __init__(self, params: EnergyParams = EnergyParams()):
+        self.params = params
+
+    def compute(
+        self,
+        *,
+        flit_hops: int,
+        l1_accesses: int,
+        l2_accesses: int,
+        memory_energy_pj: float,
+        weighted_ops: float,
+        syncs: int,
+        cycles: float,
+    ) -> Dict[str, float]:
+        """Energy breakdown in picojoules; key ``total`` sums everything."""
+        p = self.params
+        breakdown = {
+            "network": flit_hops * (p.link_hop_pj + p.router_pj),
+            "l1": l1_accesses * p.l1_access_pj,
+            "l2": l2_accesses * p.l2_access_pj,
+            "memory": memory_energy_pj,
+            "compute": weighted_ops * p.op_pj,
+            "sync": syncs * p.sync_pj,
+            "static": cycles * p.static_pj_per_cycle,
+        }
+        breakdown["total"] = sum(breakdown.values())
+        return breakdown

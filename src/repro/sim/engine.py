@@ -1,0 +1,365 @@
+"""The execution engine.
+
+Event-driven simulation over subcomputation units.  Each mesh node is a
+serial executor (one core per node; units assigned to a node run in order);
+units wait for (1) their node to be free, (2) results from child
+subcomputations (a cross-node result is a network message plus a
+point-to-point synchronization), and (3) memory dependences — flow, anti
+and output — against earlier units, discovered by a last-writer scan over
+the whole schedule, so correctness does not rely on the compiler having
+put every needed arc in its window-local sync graph.
+
+Memory accesses go through real caches: the compiler *predicted* hit/miss
+and L1 reuse when it scheduled; the simulator measures what actually
+happens, which is how over-sized windows show their L1-pollution penalty
+(Figures 20/21).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.arch.machine import Machine
+from repro.cache.hierarchy import CacheSystem
+from repro.core.subcomputation import Subcomputation
+from repro.errors import SimulationError
+from repro.noc.network import NetworkModel, NetworkParams
+from repro.sim.energy import EnergyModel, EnergyParams
+from repro.sim.metrics import SimMetrics
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Timing constants and isolation knobs of the simulator."""
+
+    l1_latency: float = 2.0
+    l2_latency: float = 14.0
+    cycles_per_op: float = 1.0
+    sync_cycles: float = 8.0
+    #: Hardware thread contexts per node (KNL cores are 4-way SMT): units
+    #: waiting on a synchronization or a remote result do not block the
+    #: node's other contexts.
+    contexts_per_node: int = 4
+    #: Outstanding-miss overlap within one subcomputation: the unit's memory
+    #: time is its slowest access plus the rest divided by this factor
+    #: (hardware overlaps independent misses; both schemes benefit equally).
+    memory_level_parallelism: float = 4.0
+    network: NetworkParams = NetworkParams()
+    energy: EnergyParams = EnergyParams()
+
+    # -- isolation knobs (Figures 17/18/23) --------------------------------
+    ideal_network: bool = False        # messages cost 0 cycles (Fig 17 bar 2)
+    hop_latency_scale: float = 1.0     # scale network latencies (Fig 18 S2)
+    compute_scale: float = 1.0         # scale compute time (Fig 18 S3)
+    extra_sync_cycles: float = 0.0     # additional per-sync cost (Fig 18 S4)
+    per_unit_overhead_cycles: float = 0.0  # flat service overhead (Fig 18 S4)
+    forced_l1_hit_rate: Optional[float] = None  # enforce an L1 profile (S1)
+    mc_override: Optional[Dict[int, int]] = None  # page -> MC node (Fig 23)
+
+
+class Simulator:
+    """Runs one schedule on one machine."""
+
+    def __init__(self, machine: Machine, config: SimConfig = SimConfig()):
+        self.machine = machine
+        self.config = config
+        self.caches = CacheSystem(
+            machine.node_count,
+            machine.l1_config,
+            machine.l2_config,
+            machine.bank_to_node,
+        )
+        self.network = NetworkModel(machine.mesh, config.network)
+        self.energy_model = EnergyModel(config.energy)
+        self._forced_counter = 0
+
+    # -- network helpers ----------------------------------------------------
+
+    def _message(self, src: int, dst: int, seq: int, metrics: SimMetrics) -> float:
+        """Send one data flit; returns latency, records traffic/movement."""
+        if src == dst:
+            return 0.0
+        latency = self.network.send(src, dst, flits=1)
+        hops = self.machine.distance(src, dst)
+        metrics.data_movement += hops
+        metrics.movement_by_seq[seq] = metrics.movement_by_seq.get(seq, 0) + hops
+        if self.config.ideal_network:
+            return 0.0
+        return latency * self.config.hop_latency_scale
+
+    def _request_latency(self, src: int, dst: int) -> float:
+        """A small request message: latency only, no data movement charged."""
+        if src == dst or self.config.ideal_network:
+            return 0.0
+        hops = self.machine.distance(src, dst)
+        return hops * self.config.network.router_cycles * self.config.hop_latency_scale
+
+    # -- memory access ------------------------------------------------------
+
+    def _forced_l1_outcome(self, block: int) -> bool:
+        """Deterministic hit/miss stream matching a target hit rate (S1)."""
+        rate = self.config.forced_l1_hit_rate
+        assert rate is not None
+        self._forced_counter += 1
+        value = (block * 2654435761 + self._forced_counter * 40503) % (1 << 20)
+        return value < rate * (1 << 20)
+
+    def _access(self, node: int, array: str, index: int, seq: int, metrics: SimMetrics) -> float:
+        """One load at ``node``; returns its latency contribution."""
+        layout = self.machine.layout
+        block = layout.block_of(array, index)
+        bank = layout.l2_bank_of(array, index)
+        home = self.machine.home_node(array, index)
+
+        real_hit = self.caches.l1s[node].access(block)
+        l1_hit = (
+            self._forced_l1_outcome(block)
+            if self.config.forced_l1_hit_rate is not None
+            else real_hit
+        )
+        latency = self.config.l1_latency
+        if l1_hit:
+            metrics.l1_hits += 1
+            return latency
+        metrics.l1_misses += 1
+
+        latency += self._request_latency(node, home)
+        l2_hit = self.caches.l2_banks[bank].access(block)
+        latency += self.config.l2_latency
+        if l2_hit:
+            metrics.l2_hits += 1
+            latency += self._message(home, node, seq, metrics)
+            return latency
+        metrics.l2_misses += 1
+
+        # L2 miss: forward to the serving controller, then data flows
+        # MC -> home bank -> requesting L1 (Figure 1's steps 2..5).
+        if self.config.mc_override:
+            page = layout.page_of(array, index)
+            mc = self.config.mc_override.get(
+                page, self.machine.mc_node(array, index, requester=node)
+            )
+        else:
+            mc = self.machine.mc_node(array, index, requester=node)
+        latency += self._request_latency(home, mc)
+        memory_cycles = self.machine.memory_access_cycles(array, index)
+        latency += memory_cycles
+        metrics.memory_accesses += 1
+        metrics.memory_cycles += memory_cycles
+        metrics.energy_breakdown["memory"] = metrics.energy_breakdown.get(
+            "memory", 0.0
+        ) + self.machine.memory_access_energy_pj(array)
+        latency += self._message(mc, home, seq, metrics)
+        latency += self._message(home, node, seq, metrics)
+        return latency
+
+    # -- dependence construction ---------------------------------------------
+
+    @staticmethod
+    def _memory_arcs(units: Sequence[Subcomputation]) -> List[Tuple[int, int, bool]]:
+        """(producer uid, consumer uid, is_flow) arcs from a last-writer scan.
+
+        Units are scanned in program order by statement instance (seq).
+        Within one instance, *all* reads happen before the write — statement
+        semantics — regardless of unit creation order (folding can give the
+        final store a lower uid than the units feeding it).
+        """
+        by_seq: Dict[int, List[Subcomputation]] = {}
+        for unit in units:
+            by_seq.setdefault(unit.seq, []).append(unit)
+        arcs: List[Tuple[int, int, bool]] = []
+        last_writer: Dict[Tuple[str, int], int] = {}
+        readers: Dict[Tuple[str, int], List[int]] = {}
+        for seq in sorted(by_seq):
+            group = sorted(by_seq[seq], key=lambda u: u.uid)
+            for unit in group:  # reads of the whole instance first
+                for gathered in unit.gathered:
+                    key = gathered.access.key()
+                    writer = last_writer.get(key)
+                    if writer is not None and writer != unit.uid:
+                        arcs.append((writer, unit.uid, True))
+                    readers.setdefault(key, []).append(unit.uid)
+            for unit in group:  # then the instance's writes
+                if unit.store is None:
+                    continue
+                key = unit.store.key()
+                for reader in readers.get(key, ()):  # anti
+                    if reader != unit.uid:
+                        arcs.append((reader, unit.uid, False))
+                writer = last_writer.get(key)
+                if writer is not None and writer != unit.uid:  # output
+                    arcs.append((writer, unit.uid, False))
+                last_writer[key] = unit.uid
+                readers[key] = []
+        return arcs
+
+    # -- main loop --------------------------------------------------------------
+
+    def run(self, units: Sequence[Subcomputation]) -> SimMetrics:
+        """Simulate ``units``; returns the filled :class:`SimMetrics`."""
+        metrics = SimMetrics()
+        if not units:
+            return metrics
+        by_uid: Dict[int, Subcomputation] = {u.uid: u for u in units}
+        if len(by_uid) != len(units):
+            raise SimulationError("duplicate subcomputation uids in schedule")
+
+        # Dependence arcs: dataflow (sub_results) + memory order.
+        preds: Dict[int, List[Tuple[int, bool]]] = {u.uid: [] for u in units}
+        succs: Dict[int, List[int]] = {u.uid: [] for u in units}
+        for unit in units:
+            for result in unit.sub_results:
+                if result.producer_uid not in by_uid:
+                    raise SimulationError(
+                        f"unit {unit.uid} consumes unknown producer "
+                        f"{result.producer_uid}"
+                    )
+                preds[unit.uid].append((result.producer_uid, False))
+                succs[result.producer_uid].append(unit.uid)
+        for producer, consumer, _is_flow in self._memory_arcs(units):
+            if producer in by_uid and consumer in by_uid:
+                preds[consumer].append((producer, True))
+                succs[producer].append(consumer)
+
+        indegree = {uid: len(pred) for uid, pred in preds.items()}
+        ready = [
+            (by_uid[uid].seq, uid) for uid, degree in indegree.items() if degree == 0
+        ]
+        heapq.heapify(ready)
+
+        # Each node is a K-context server (SMT): a unit occupies the
+        # earliest-free context; waits for remote results overlap with other
+        # contexts' work.
+        contexts = max(self.config.contexts_per_node, 1)
+        node_ctx: Dict[int, List[float]] = {}
+        finish: Dict[int, float] = {}
+        processed = 0
+        sync_cost = self.config.sync_cycles + self.config.extra_sync_cycles
+        seqs: Set[int] = set()
+
+        while ready:
+            _, uid = heapq.heappop(ready)
+            unit = by_uid[uid]
+            seqs.add(unit.seq)
+            servers = node_ctx.setdefault(unit.node, [0.0] * contexts)
+
+            # When are this unit's inputs all present?
+            input_ready = 0.0
+            # Child results: network message + sync when cross-node.
+            for result in unit.sub_results:
+                producer = by_uid[result.producer_uid]
+                arrival = finish[producer.uid]
+                if producer.node != unit.node:
+                    arrival += self._message(
+                        producer.node, unit.node, unit.seq, metrics
+                    )
+                    arrival += sync_cost
+                    metrics.sync_count += 1
+                input_ready = max(input_ready, arrival)
+
+            # Memory-order predecessors.  A cross-node *flow* dependence
+            # needs a point-to-point synchronization (the consumer spins on
+            # the producer's flag); anti/output order is enforced by the
+            # same wait but carries no data.
+            for producer_uid, is_memory in preds[uid]:
+                if not is_memory:
+                    continue
+                producer = by_uid[producer_uid]
+                arrival = finish[producer_uid]
+                if producer.node != unit.node:
+                    arrival += sync_cost
+                    metrics.sync_count += 1
+                input_ready = max(input_ready, arrival)
+
+            # A blocked thread yields its context (SMT): occupy the context
+            # that minimizes the actual service start.
+            slot = min(
+                range(contexts), key=lambda s: (max(servers[s], input_ready), servers[s])
+            )
+            start = max(servers[slot], input_ready)
+            metrics.sync_wait_cycles += max(0.0, input_ready - servers[slot])
+
+            # Gather raw data through the memory hierarchy.  Independent
+            # loads overlap up to the configured memory-level parallelism.
+            latencies: List[float] = []
+            for gathered in unit.gathered:
+                latencies.append(
+                    self._access(
+                        unit.node, gathered.access.array, gathered.access.index,
+                        unit.seq, metrics,
+                    )
+                )
+            # The store writes through the hierarchy at the executing node.
+            if unit.store is not None:
+                latencies.append(
+                    self._access(
+                        unit.node, unit.store.array, unit.store.index,
+                        unit.seq, metrics,
+                    )
+                )
+            if latencies:
+                slowest = max(latencies)
+                rest = sum(latencies) - slowest
+                access_time = slowest + rest / max(
+                    self.config.memory_level_parallelism, 1.0
+                )
+            else:
+                access_time = 0.0
+
+            compute_time = (
+                unit.cost * self.config.cycles_per_op * self.config.compute_scale
+            )
+            end = (
+                start
+                + access_time
+                + compute_time
+                + self.config.per_unit_overhead_cycles
+            )
+            finish[uid] = end
+            servers[slot] = end
+            metrics.op_count += unit.op_count
+            metrics.compute_cycles += compute_time
+            processed += 1
+
+            for successor in succs[uid]:
+                indegree[successor] -= 1
+                if indegree[successor] == 0:
+                    heapq.heappush(ready, (by_uid[successor].seq, successor))
+
+        if processed != len(units):
+            raise SimulationError(
+                f"schedule has a dependence cycle: ran {processed} of {len(units)} units"
+            )
+
+        metrics.total_cycles = max(finish.values(), default=0.0)
+        metrics.unit_count = len(units)
+        metrics.statement_count = len(seqs)
+        metrics.network_messages = self.network.message_count()
+        metrics.network_avg_latency = self.network.average_latency()
+        metrics.network_max_latency = self.network.max_latency()
+        metrics.max_link_load = self.network.traffic.max_link_load()
+
+        weighted_ops = sum(u.cost for u in units)
+        breakdown = self.energy_model.compute(
+            flit_hops=self.network.traffic.total_flit_hops,
+            l1_accesses=metrics.l1_hits + metrics.l1_misses,
+            l2_accesses=metrics.l2_hits + metrics.l2_misses,
+            memory_energy_pj=metrics.energy_breakdown.get("memory", 0.0),
+            weighted_ops=weighted_ops,
+            syncs=metrics.sync_count,
+            cycles=metrics.total_cycles,
+        )
+        metrics.energy_breakdown = breakdown
+        metrics.energy_pj = breakdown["total"]
+        return metrics
+
+
+def run_schedule(
+    machine: Machine,
+    units: Sequence[Subcomputation],
+    config: SimConfig = SimConfig(),
+) -> SimMetrics:
+    """Convenience wrapper: simulate ``units`` on a fresh simulator."""
+    return Simulator(machine, config).run(units)

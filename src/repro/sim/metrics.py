@@ -1,0 +1,75 @@
+"""Metric container produced by a simulation run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class SimMetrics:
+    """Counters and derived statistics of one simulated schedule."""
+
+    total_cycles: float = 0.0
+    unit_count: int = 0
+    statement_count: int = 0
+
+    # memory system
+    l1_hits: int = 0
+    l1_misses: int = 0
+    l2_hits: int = 0
+    l2_misses: int = 0
+    memory_accesses: int = 0
+    memory_cycles: float = 0.0
+
+    # network
+    data_movement: int = 0            # flit-hops of data messages (the paper's metric)
+    network_messages: int = 0
+    network_avg_latency: float = 0.0
+    network_max_latency: float = 0.0
+    max_link_load: int = 0
+
+    # compute & synchronization
+    op_count: int = 0
+    compute_cycles: float = 0.0
+    sync_count: int = 0
+    sync_wait_cycles: float = 0.0
+
+    # energy (picojoules)
+    energy_pj: float = 0.0
+    energy_breakdown: Dict[str, float] = field(default_factory=dict)
+
+    # per-statement-instance movement, keyed by instance seq
+    movement_by_seq: Dict[int, int] = field(default_factory=dict)
+
+    def l1_hit_rate(self) -> float:
+        total = self.l1_hits + self.l1_misses
+        return self.l1_hits / total if total else 0.0
+
+    def l2_hit_rate(self) -> float:
+        total = self.l2_hits + self.l2_misses
+        return self.l2_hits / total if total else 0.0
+
+    def movement_per_statement(self) -> List[int]:
+        return [self.movement_by_seq[k] for k in sorted(self.movement_by_seq)]
+
+    def average_movement_per_statement(self) -> float:
+        values = self.movement_per_statement()
+        return sum(values) / len(values) if values else 0.0
+
+    def max_movement_per_statement(self) -> int:
+        values = self.movement_per_statement()
+        return max(values) if values else 0
+
+    def syncs_per_statement(self) -> float:
+        if not self.statement_count:
+            return 0.0
+        return self.sync_count / self.statement_count
+
+    def summary(self) -> str:
+        return (
+            f"cycles={self.total_cycles:.0f} movement={self.data_movement} "
+            f"L1={self.l1_hit_rate():.3f} L2={self.l2_hit_rate():.3f} "
+            f"netavg={self.network_avg_latency:.2f} netmax={self.network_max_latency:.1f} "
+            f"syncs={self.sync_count} energy={self.energy_pj / 1e6:.3f}uJ"
+        )

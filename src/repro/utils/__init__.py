@@ -1,0 +1,15 @@
+"""Shared utilities: union-find, deterministic RNG helpers, small statistics."""
+
+from repro.utils.union_find import UnionFind
+from repro.utils.rng import make_rng, derive_rng
+from repro.utils.stats import geomean, mean, summarize, Summary
+
+__all__ = [
+    "UnionFind",
+    "make_rng",
+    "derive_rng",
+    "geomean",
+    "mean",
+    "summarize",
+    "Summary",
+]

@@ -1,0 +1,78 @@
+"""Terminal bar charts for experiment reports.
+
+The paper's figures are bar charts per application; these helpers render
+the same series as unicode bars so `python -m repro.cli compare`/the
+experiment runner can show shapes directly in the terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def _bar(fraction: float, width: int) -> str:
+    """A left-aligned bar filling ``fraction`` of ``width`` character cells."""
+    fraction = max(0.0, min(1.0, fraction))
+    cells = fraction * width
+    full = int(cells)
+    remainder = cells - full
+    partial = _BLOCKS[int(remainder * (len(_BLOCKS) - 1))] if full < width else ""
+    return ("█" * full + partial).ljust(width)
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    *,
+    width: int = 40,
+    unit: str = "",
+    limit: Optional[float] = None,
+    formatter=lambda v: f"{v:.3g}",
+) -> str:
+    """Render ``label -> value`` as horizontal bars.
+
+    Negative values render with a ``-`` marker before the bar; ``limit``
+    overrides the scale maximum (default: the largest magnitude).
+    """
+    if not values:
+        return "(no data)"
+    label_width = max(len(label) for label in values)
+    scale = limit if limit is not None else max(
+        (abs(v) for v in values.values()), default=1.0
+    )
+    if scale <= 0:
+        scale = 1.0
+    lines: List[str] = []
+    for label, value in values.items():
+        marker = "-" if value < 0 else " "
+        bar = _bar(abs(value) / scale, width)
+        lines.append(
+            f"{label.ljust(label_width)} {marker}|{bar}| {formatter(value)}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def percent_chart(values: Mapping[str, float], *, width: int = 40) -> str:
+    """Bar chart for fractional values, labelled as percentages."""
+    return bar_chart(
+        values,
+        width=width,
+        unit="%",
+        formatter=lambda v: f"{v * 100:+.1f}",
+        limit=max((abs(v) for v in values.values()), default=1.0),
+    )
+
+
+def grouped_chart(
+    series: Mapping[str, Mapping[str, float]],
+    *,
+    width: int = 30,
+) -> str:
+    """Multiple series per label (e.g. ours / ideal-net / ideal-analysis)."""
+    lines: List[str] = []
+    for label, group in series.items():
+        lines.append(f"{label}:")
+        chart = percent_chart(group, width=width)
+        lines.extend("  " + line for line in chart.splitlines())
+    return "\n".join(lines)

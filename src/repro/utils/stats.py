@@ -1,0 +1,68 @@
+"""Small statistics helpers used by experiments and reports."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty iterable."""
+    data = list(values)
+    if not data:
+        return 0.0
+    return sum(data) / len(data)
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean; 0.0 for an empty iterable.
+
+    The paper reports geometric means for its cross-application averages
+    (e.g. the 18.4% headline), so experiments aggregate the same way.
+    All values must be positive.
+    """
+    data = list(values)
+    if not data:
+        return 0.0
+    if any(v <= 0 for v in data):
+        raise ValueError("geomean requires strictly positive values")
+    return math.exp(sum(math.log(v) for v in data) / len(data))
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    stdev: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"n={self.count} mean={self.mean:.4g} "
+            f"min={self.minimum:.4g} max={self.maximum:.4g} sd={self.stdev:.4g}"
+        )
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Summarize ``values`` (count, mean, min, max, population stdev)."""
+    data: List[float] = list(values)
+    if not data:
+        return Summary(0, 0.0, 0.0, 0.0, 0.0)
+    mu = mean(data)
+    var = sum((v - mu) ** 2 for v in data) / len(data)
+    return Summary(len(data), mu, min(data), max(data), math.sqrt(var))
+
+
+def ratio_reduction(baseline: float, optimized: float) -> float:
+    """Fractional reduction of ``optimized`` relative to ``baseline``.
+
+    Returns e.g. 0.35 when optimized is 35% lower than baseline.  A zero
+    baseline yields 0.0 (no movement to reduce).
+    """
+    if baseline <= 0:
+        return 0.0
+    return (baseline - optimized) / baseline

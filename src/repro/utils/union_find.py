@@ -1,0 +1,83 @@
+"""Disjoint-set (union-find) structure used by Kruskal's algorithm.
+
+Implements union by rank with path compression.  Elements may be any hashable
+value; sets are created lazily on first access, which matches how the MST
+builder discovers graph vertices incrementally (Algorithm 1, lines 22-29 of
+the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator
+
+
+class UnionFind:
+    """Disjoint sets over arbitrary hashable elements.
+
+    >>> uf = UnionFind()
+    >>> uf.union('a', 'b')
+    True
+    >>> uf.connected('a', 'b')
+    True
+    >>> uf.union('a', 'b')   # already joined
+    False
+    """
+
+    def __init__(self, elements: Iterable[Hashable] = ()):
+        self._parent: Dict[Hashable, Hashable] = {}
+        self._rank: Dict[Hashable, int] = {}
+        self._count = 0
+        for element in elements:
+            self.add(element)
+
+    def add(self, element: Hashable) -> None:
+        """Register ``element`` as a singleton set if it is new."""
+        if element not in self._parent:
+            self._parent[element] = element
+            self._rank[element] = 0
+            self._count += 1
+
+    def find(self, element: Hashable) -> Hashable:
+        """Return the canonical representative of ``element``'s set."""
+        self.add(element)
+        root = element
+        while self._parent[root] != root:
+            root = self._parent[root]
+        # Path compression: point every node on the walk directly at the root.
+        while self._parent[element] != root:
+            self._parent[element], element = root, self._parent[element]
+        return root
+
+    def union(self, a: Hashable, b: Hashable) -> bool:
+        """Merge the sets containing ``a`` and ``b``.
+
+        Returns True if a merge happened, False if they were already joined.
+        """
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a == root_b:
+            return False
+        if self._rank[root_a] < self._rank[root_b]:
+            root_a, root_b = root_b, root_a
+        self._parent[root_b] = root_a
+        if self._rank[root_a] == self._rank[root_b]:
+            self._rank[root_a] += 1
+        self._count -= 1
+        return True
+
+    def connected(self, a: Hashable, b: Hashable) -> bool:
+        """True when ``a`` and ``b`` are in the same set."""
+        return self.find(a) == self.find(b)
+
+    @property
+    def set_count(self) -> int:
+        """Number of disjoint sets currently tracked."""
+        return self._count
+
+    def __contains__(self, element: Hashable) -> bool:
+        return element in self._parent
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._parent)

@@ -1,0 +1,76 @@
+"""Workload plumbing: spec records and shared helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.ir.loop import Loop, LoopNest
+from repro.ir.parser import parse_statement
+from repro.ir.program import Program
+from repro.utils.rng import derive_rng
+
+WorkloadBuilder = Callable[[int, int], Program]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A named workload and the paper-reported characteristics it mimics."""
+
+    name: str
+    builder: WorkloadBuilder
+    suite: str                       # "splash2" or "mantevo"
+    expected_analyzable: float       # Table 1 target (fraction)
+    description: str = ""
+
+    def build(self, scale: int = 1, seed: int = 0) -> Program:
+        return self.builder(scale, seed)
+
+
+def nest(
+    name: str,
+    loops: Sequence[Loop],
+    statements: Sequence[str],
+) -> LoopNest:
+    """Parse a list of statement strings into a loop nest."""
+    return LoopNest.of(list(loops), [parse_statement(s) for s in statements], name)
+
+
+def permutation_index(
+    program: Program, name: str, length: int, seed: int, tag: str
+) -> None:
+    """Declare ``name`` and fill it with a random permutation of 0..length-1.
+
+    The standard index-array shape for gather/scatter kernels: every target
+    element is hit exactly once, in an order the compiler cannot analyze.
+    """
+    program.declare(name, length)
+    rng = derive_rng(seed, tag)
+    program.set_index_data(name, rng.permutation(length).tolist())
+
+
+def clustered_index(
+    program: Program,
+    name: str,
+    length: int,
+    target_length: int,
+    cluster: int,
+    seed: int,
+    tag: str,
+) -> None:
+    """Declare ``name`` with clustered random indices into ``target_length``.
+
+    Values come in runs of ``cluster`` nearby targets, the shape of
+    neighbor lists (MiniMD) and interaction lists (Barnes/FMM): irregular
+    globally, with short-range locality the L1 can sometimes catch.
+    """
+    program.declare(name, length)
+    rng = derive_rng(seed, tag)
+    values: List[int] = []
+    while len(values) < length:
+        base = int(rng.integers(0, max(target_length - cluster, 1)))
+        run = [base + int(rng.integers(0, cluster)) for _ in range(cluster)]
+        values.extend(run)
+    program.set_index_data(name, values[:length])

@@ -1,0 +1,67 @@
+"""Synthetic Mantevo mini-apps (paper Section 6.1): MiniMD and MiniXyce."""
+
+from __future__ import annotations
+
+from repro.ir.loop import Loop
+from repro.ir.program import Program
+from repro.workloads.base import clustered_index, nest, permutation_index
+
+
+def minimd(scale: int = 1, seed: int = 0) -> Program:
+    """Lennard-Jones force loop over neighbor lists (MiniMD).
+
+    Clustered neighbor gathers (short-range locality the window scheduler
+    can catch), long force statements; one of the paper's top movement
+    reducers (Fig 13).
+    """
+    p = Program("minimd")
+    atoms = 1280 * scale
+    p.declare("F", 2 * atoms + 16, bank_phase=6)
+    p.declare("X", 8 * atoms, bank_phase=4)
+    p.declare("XN", 2 * atoms + 16, bank_phase=6)
+    p.declare("V", 2 * atoms + 16, bank_phase=6)
+    p.declare("M", 8 * atoms, bank_phase=4)
+    p.declare("DT", 4 * atoms + 16, bank_phase=4)
+    p.declare("CUT", 3 * atoms + 8, bank_phase=4)
+    clustered_index(p, "NB", 4 * atoms + 4, 8 * atoms, 4, seed, "minimd-nb")
+    p.add_nest(
+        nest(
+            "force",
+            [Loop("t", 0, 2), Loop("i", 0, atoms)],
+            [
+                "F(2*i) = F(2*i) + X(NB(4*i))*M(NB(4*i)) + X(NB(4*i+1))*M(NB(4*i+1)) + X(2*i+1)*CUT(3*i)",
+                "XN(2*i) = X(2*i) + V(2*i)*DT(4*i) + CUT(2*i)*DT(4*i+1)",
+                "V(2*i) = V(2*i) + F(2*i)*DT(4*i+2)",
+            ],
+        )
+    )
+    return p
+
+
+def minixyce(scale: int = 1, seed: int = 0) -> Program:
+    """Sparse circuit-network matrix-vector steps (MiniXyce).
+
+    CSR-style row products with one indirect column gather per row
+    (Table 1: 93.8% analyzable), plus the time-integration update.
+    """
+    p = Program("minixyce")
+    nodes = 1408 * scale
+    p.declare("Y", 2 * nodes + 16, bank_phase=10)
+    p.declare("V", 8 * nodes, bank_phase=8)
+    p.declare("B", 4 * nodes + 16, bank_phase=8)
+    p.declare("R", 2 * nodes + 16, bank_phase=10)
+    p.declare("DT", 2 * nodes + 16, bank_phase=8)
+    p.declare("AV", 2 * nodes + 8, bank_phase=8)
+    permutation_index(p, "CI", 8 * nodes, seed, "minixyce-ci")
+    p.add_nest(
+        nest(
+            "matvec",
+            [Loop("t", 0, 2), Loop("i", 0, nodes)],
+            [
+                "Y(2*i) = Y(2*i) + AV(2*i)*V(CI(2*i)) + AV(2*i+1)*V(8*i+1)",
+                "V(8*i) = V(8*i) + Y(2*i)*DT(2*i)",
+                "R(2*i) = B(4*i) - Y(2*i) + R(2*i+2)",
+            ],
+        )
+    )
+    return p

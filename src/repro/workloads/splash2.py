@@ -1,0 +1,343 @@
+"""Synthetic Splash-2 kernels (paper Section 6.1).
+
+Each builder returns a :class:`~repro.ir.program.Program` whose loop nests
+reproduce the named application's reported character — statement length,
+operator mix, fraction of indirect (non-analyzable) references, and access
+spread.  ``scale`` multiplies the iteration counts; ``seed`` drives the
+index-array contents.
+
+Geometry is calibrated to the paper's regime scaled down ~1000x: the paper
+runs 661MB-3.3GB datasets against 32KB L1s (per-core working sets vastly
+exceed L1), with original L2 miss rates of 16-37%.  Here, strides of a
+cache block or more make most operands land on fresh blocks, per-node
+working sets exceed the experiment machine's L1 between reuses, and a short
+outer timing loop (``t``) provides the warm-cache steady state — cold
+first-pass misses supply the L2-miss band.
+"""
+
+from __future__ import annotations
+
+from repro.ir.loop import Loop
+from repro.ir.program import Program
+from repro.workloads.base import clustered_index, nest, permutation_index
+
+
+def barnes(scale: int = 1, seed: int = 0) -> Program:
+    """N-body force accumulation over clustered interaction lists.
+
+    Long statements (high subcomputation parallelism), ~30% indirect
+    references (Table 1: 68.3% analyzable), add-heavy mix; interaction
+    targets scatter across the whole chip, so the default placement moves a
+    lot of data — Barnes is one of the paper's biggest winners (Fig 13).
+    """
+    p = Program("barnes")
+    bodies = 1152 * scale
+    # NDP-friendly allocation (page coloring): the interaction operands
+    # share a bank phase so same-index pairs are bank-neighbors; the
+    # accumulators sit two banks away.
+    for name in ("AX", "AY", "VX", "PX"):
+        p.declare(name, 4 * bodies + 16, bank_phase=8)
+    for name in ("M", "DX", "DY"):
+        p.declare(name, 8 * bodies, bank_phase=6)
+    p.declare("EPS", 16 * bodies + 16, bank_phase=6)
+    p.declare("DT", 8 * bodies + 8, bank_phase=6)
+    clustered_index(p, "IL", 4 * bodies + 4, 8 * bodies, 4, seed, "barnes-il")
+    p.add_nest(
+        nest(
+            "forces",
+            [Loop("t", 0, 2), Loop("i", 0, bodies)],
+            [
+                "AX(4*i) = AX(4*i) + M(IL(4*i))*DX(IL(4*i)) + M(IL(4*i+1))*DX(IL(4*i+1)) + M(IL(4*i+2))*DX(IL(4*i+2))",
+                "AY(4*i) = AY(4*i) + M(4*i)*DY(IL(4*i+3))",
+                "VX(4*i) = VX(4*i) + AX(4*i) + AX(4*i+4) + EPS(16*i)",
+                "PX(4*i) = PX(4*i) + VX(4*i)*DT(8*i) + DX(16*i+5)",
+            ],
+        )
+    )
+    return p
+
+
+def cholesky(scale: int = 1, seed: int = 0) -> Program:
+    """Blocked Cholesky factorization updates.
+
+    Nearly fully analyzable (Table 1: 97.2%), division present, and
+    operands of each statement sit close together (the B(i,t)/B(j,t)
+    panels), so the original network footprint is small — the paper notes
+    Cholesky gains little from the optimization.
+    """
+    p = Program("cholesky")
+    n = 36 * max(scale, 1)
+    p.declare("A", n, n)
+    p.declare("B", n, 8)
+    p.declare("L", n, n)
+    p.declare("D", n, n)
+    p.declare("S", n)
+    permutation_index(p, "PV", n, seed, "cholesky-pivot")
+    p.add_nest(
+        nest(
+            "update",
+            [Loop("t", 0, 2), Loop("i", 0, n), Loop("j", 0, n)],
+            [
+                "A(i,j) = A(i,j) - B(i,t)*B(j,t)",
+                "L(i,j) = A(i,j) / D(j,j)",
+            ],
+        )
+    )
+    # A small supernode-assembly pass with permuted row gathers: the source
+    # of Cholesky's few non-analyzable references (Table 1: 97.2%).
+    p.add_nest(
+        nest(
+            "assemble",
+            [Loop("t", 0, 2), Loop("i", 0, n), Loop("k", 0, 10)],
+            [
+                "S(i) = S(i) + A(PV(i),t)",
+            ],
+        )
+    )
+    return p
+
+
+def fft(scale: int = 1, seed: int = 0) -> Program:
+    """Strided butterfly stages with twiddle factors and a bit-reversal pass.
+
+    Strides spread each statement's operands over many banks; the small
+    bit-reversal gather supplies the ~8% non-analyzable references
+    (Table 1: 92.3%); the mix is multiply-heavy (Table 3).
+    """
+    p = Program("fft")
+    points = 2048 * scale
+    half = points // 2
+    for name in ("XR", "XI"):
+        p.declare(name, 8 * points, bank_phase=16)
+    for name in ("YR", "YI"):
+        p.declare(name, 8 * points, bank_phase=14)
+    for name in ("WR", "WI"):
+        p.declare(name, 8 * points + 16, bank_phase=14)
+    p.declare("ZR", points, bank_phase=16)
+    permutation_index(p, "BR", points, seed, "fft-bitrev")
+    p.add_nest(
+        nest(
+            "butterfly",
+            [Loop("t", 0, 2), Loop("i", 0, half)],
+            [
+                f"XR(4*i) = XR(4*i) + WR(4*i)*YR(4*i+{half}) - WI(4*i)*YI(4*i+{half})",
+                f"XI(4*i) = XI(4*i) + WR(4*i)*YI(4*i+{half}) + WI(4*i)*YR(4*i+{half})",
+                "ZR(i) = XR(BR(i)) + XI(4*i)",
+            ],
+        )
+    )
+    return p
+
+
+def fmm(scale: int = 1, seed: int = 0) -> Program:
+    """Fast-multipole potential/force evaluation over cell lists.
+
+    Balanced add/multiply mix (Table 3: 47/45), ~25% indirect references
+    (Table 1: 74.4%), mid-pack movement reduction.
+    """
+    p = Program("fmm")
+    cells = 1280 * scale
+    for name in ("PHI", "FX"):
+        p.declare(name, 2 * cells + 16, bank_phase=12)
+    for name in ("Q", "KX"):
+        p.declare(name, 8 * cells, bank_phase=10)
+    p.declare("KY", 3 * cells + 8, bank_phase=10)
+    p.declare("DT", 4 * cells + 16, bank_phase=10)
+    clustered_index(p, "CL", 4 * cells + 4, 8 * cells, 4, seed, "fmm-cl")
+    p.add_nest(
+        nest(
+            "multipole",
+            [Loop("t", 0, 2), Loop("i", 0, cells)],
+            [
+                "PHI(2*i) = PHI(2*i) + Q(CL(4*i))*KX(CL(4*i)) + Q(CL(4*i+1))*KX(CL(4*i+1)) + Q(CL(4*i+2))*KX(CL(4*i+2))",
+                "FX(2*i) = FX(2*i) + PHI(2*i)*KY(2*i) + Q(3*i)*KY(3*i+1)",
+                "KX(i) = KX(i) + FX(2*i)*DT(4*i)",
+                "KY(2*i) = KY(2*i) + PHI(2*i)*DT(2*i+1)",
+            ],
+        )
+    )
+    return p
+
+
+def lu(scale: int = 1, seed: int = 0) -> Program:
+    """Dense LU elimination steps with a pivot gather.
+
+    Multiply/divide heavy (Table 3: 51.6% mul/div), highly analyzable
+    (Table 1: 90.7%), and — like Cholesky — operands are panel-local, so
+    the movement-reduction potential is modest.
+    """
+    p = Program("lu")
+    n = 36 * max(scale, 1)
+    p.declare("A", n, n)
+    p.declare("U", n, n)
+    p.declare("S", n)
+    permutation_index(p, "PV", n, seed, "lu-pivot")
+    p.add_nest(
+        nest(
+            "eliminate",
+            [Loop("t", 0, 2), Loop("i", 0, n), Loop("j", 0, n)],
+            [
+                "A(i,j) = A(i,j) - A(i,t)*A(t,j)",
+                "U(i,j) = A(i,j) / A(t,t)",
+                "S(j) = A(t,j)*S(PV(j))",
+            ],
+        )
+    )
+    return p
+
+
+def ocean(scale: int = 1, seed: int = 0) -> Program:
+    """2-D relaxation stencils on ocean grids.
+
+    Long 5/6-operand statements whose vertical neighbors live a full grid
+    row apart (different blocks, different banks): big original network
+    footprint and the paper's top-tier movement reduction; ~20% of
+    references go through boundary-condition tables (Table 1: 77.3%).
+    """
+    p = Program("ocean")
+    # Long rows: vertical stencil neighbors live a whole row (~128 blocks)
+    # apart, so they never survive in the L1 between row passes — the
+    # working-set shape of the paper's 1026x1026 Ocean grids.
+    rows = 8 * max(scale, 1)
+    cols = 2048 * max(scale, 1)
+    for name in ("P", "PN", "V", "Q", "F", "H", "E", "DTG"):
+        p.declare(name, rows + 2, cols + 2, bank_phase=0)
+    p.declare("GAM", 8 * (cols + 2), bank_phase=2)
+    permutation_index(p, "BI", rows + 2, seed, "ocean-bi")
+    permutation_index(p, "BJ", cols + 2, seed, "ocean-bj")
+    p.add_nest(
+        nest(
+            "relax",
+            [Loop("t", 0, 2), Loop("i", 1, rows + 1), Loop("j", 1, cols + 1, 8)],
+            [
+                "PN(i,j) = P(i,j) + P(i-1,j) + P(i+1,j) + P(i,j-1) + P(i,j+1) + GAM(BJ(j-1))",
+                "V(i,j) = V(i,j) + PN(i,j)*DTG(i,j) - Q(i,j)*H(i,j) + GAM(BI(i+1))",
+                "Q(i,j) = Q(i,j) + V(i,j) + V(i-1,j) + V(i,j+1) + GAM(BI(i))*GAM(BJ(j))",
+                "E(i,j) = PN(i,j) + GAM(BI(i)) + GAM(BJ(j+1)) + F(i,j)",
+            ],
+        )
+    )
+    return p
+
+
+def radiosity(scale: int = 1, seed: int = 0) -> Program:
+    """Iterative radiosity exchange over visibility lists.
+
+    ~23% indirect references (Table 1: 77.3%), medium statement length,
+    add-leaning mix with a visible 'others' share in the paper (Table 3).
+    """
+    p = Program("radiosity")
+    patches = 1152 * scale
+    p.declare("RAD", 8 * patches, bank_phase=18)
+    p.declare("FF", 8 * patches, bank_phase=18)
+    p.declare("B", 2 * patches + 16, bank_phase=20)
+    p.declare("RHO", 3 * patches + 8, bank_phase=18)
+    p.declare("EM", 3 * patches + 8, bank_phase=18)
+    p.declare("ERR", 2 * patches + 16, bank_phase=20)
+    clustered_index(p, "VL", 4 * patches + 4, 8 * patches, 4, seed, "radiosity-vl")
+    p.add_nest(
+        nest(
+            "exchange",
+            [Loop("t", 0, 2), Loop("i", 0, patches)],
+            [
+                "RAD(i) = RAD(i) + FF(VL(4*i))*RAD(VL(4*i)) + FF(VL(4*i+1))*RAD(VL(4*i+1)) + FF(VL(4*i+2))*RAD(VL(4*i+2))",
+                "B(2*i) = RAD(i)*RHO(2*i) + EM(3*i)",
+                "ERR(2*i) = B(2*i) - B(2*i+2) + ERR(2*i)",
+                "FF(i) = FF(i) + B(2*i)*RHO(i)",
+                "EM(3*i) = EM(3*i) + B(2*i) + RHO(3*i)",
+            ],
+        )
+    )
+    return p
+
+
+def radix(scale: int = 1, seed: int = 0) -> Program:
+    """Radix-sort counting and permutation-scatter phases.
+
+    Indirect *writes* (histogram update, scatter) — the may-dependence case
+    the inspector-executor handles; Table 1: 84.2% analyzable; notable
+    'others' share in Table 3 (shifts in the real code).
+    """
+    p = Program("radix")
+    keys = 1536 * scale
+    for name in ("KEY", "D", "C", "ONE"):
+        p.declare(name, 8 * keys + 16, bank_phase=22)
+    p.declare("CNT", 8 * keys, bank_phase=24)
+    p.declare("OUT", 8 * keys, bank_phase=24)
+    permutation_index(p, "K", keys, seed, "radix-hist")
+    permutation_index(p, "PP", keys, seed, "radix-perm")
+    p.add_nest(
+        nest(
+            "count",
+            [Loop("t", 0, 2), Loop("i", 0, keys)],
+            [
+                "CNT(K(i)) = CNT(K(i)) + ONE(i)",
+                "OUT(PP(i)) = KEY(4*i) + C(2*i)",
+                "D(2*i) = KEY(8*i) + KEY(8*i+1) + C(3*i) + D(2*i+4)",
+                "C(2*i) = D(2*i) + D(2*i+4) + ONE(2*i)",
+            ],
+        )
+    )
+    return p
+
+
+def raytrace(scale: int = 1, seed: int = 0) -> Program:
+    """Ray-grid traversal with per-cell object lists.
+
+    Multiply-heavy (Table 3: 49.7% mul/div), long dot-product statements,
+    ~18% indirect references through the object lists.
+    """
+    p = Program("raytrace")
+    rays = 1152 * scale
+    for name in ("HIT", "TMIN", "COL"):
+        p.declare(name, 4 * rays + 16, bank_phase=28)
+    for name in ("OX", "OY", "OZ"):
+        p.declare(name, 4 * rays + 16, bank_phase=26)
+    for name in ("DXR", "DYR", "DZR"):
+        p.declare(name, 2 * rays + 8, bank_phase=26)
+    p.declare("KD", 3 * rays + 8, bank_phase=26)
+    p.declare("SR", 8 * rays, bank_phase=26)
+    clustered_index(p, "OB", 4 * rays + 4, 8 * rays, 4, seed, "raytrace-ob")
+    p.add_nest(
+        nest(
+            "trace",
+            [Loop("t", 0, 2), Loop("i", 0, rays)],
+            [
+                "HIT(2*i) = OX(2*i)*DXR(2*i) + OY(2*i)*DYR(2*i) + OZ(2*i)*DZR(2*i)",
+                "TMIN(2*i) = HIT(2*i) + SR(OB(4*i))*SR(OB(4*i+1)) + SR(OB(4*i+2))*SR(OB(4*i+3))",
+                "COL(2*i) = COL(2*i) + TMIN(2*i)*KD(3*i) + SR(OB(4*i))*KD(i)",
+            ],
+        )
+    )
+    return p
+
+
+def water(scale: int = 1, seed: int = 0) -> Program:
+    """Molecular-dynamics intra/inter-molecular force updates.
+
+    Add-heavy mix (Table 3: 58.1% add/sub) with a division in the energy
+    term; mostly affine with a small neighbor gather.
+    """
+    p = Program("water")
+    molecules = 1152 * scale
+    for name in ("FX", "E", "VX"):
+        p.declare(name, 2 * molecules + 16, bank_phase=2)
+    p.declare("X", 3 * molecules + 8, bank_phase=0)
+    p.declare("Q", 4 * molecules + 16, bank_phase=0)
+    p.declare("R", 2 * molecules + 8, bank_phase=0)
+    p.declare("DT", 2 * molecules + 8, bank_phase=0)
+    p.declare("G", 8 * molecules, bank_phase=0)
+    clustered_index(p, "W", molecules + 2, 8 * molecules, 6, seed, "water-nb")
+    p.add_nest(
+        nest(
+            "forces",
+            [Loop("t", 0, 2), Loop("i", 0, molecules)],
+            [
+                "FX(2*i) = FX(2*i) + X(2*i) - X(2*i+1) + X(3*i) - X(3*i+2)",
+                "E(2*i) = E(2*i) + Q(4*i)*Q(4*i+1) / R(2*i)",
+                "VX(2*i) = VX(2*i) + FX(2*i)*DT(i) + G(W(i)) - G(W(i+1))",
+                "X(i) = X(i) + VX(2*i)*DT(2*i)",
+            ],
+        )
+    )
+    return p

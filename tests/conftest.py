@@ -1,0 +1,42 @@
+"""Shared fixtures: small machines and tiny programs for fast tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.knl import small_machine
+from repro.ir.loop import Loop, LoopNest
+from repro.ir.parser import parse_statement
+from repro.ir.program import Program
+
+
+@pytest.fixture
+def machine():
+    """A 4x4-mesh machine with small caches."""
+    return small_machine()
+
+
+@pytest.fixture
+def tiny_program():
+    """Two statements sharing C(i), as in the paper's Figure 11 scenario."""
+    p = Program("tiny")
+    for name in ("A", "B", "C", "D", "E", "X", "Y"):
+        p.declare(name, 512)
+    p.add_nest(
+        LoopNest.of(
+            [Loop("i", 0, 32)],
+            [
+                parse_statement("A(i) = B(i) + C(i) + D(i) + E(i)"),
+                parse_statement("X(i) = Y(i) + C(i)"),
+            ],
+            "main",
+        )
+    )
+    return p
+
+
+@pytest.fixture
+def declared(machine, tiny_program):
+    """(machine, program) with arrays declared on the machine's layout."""
+    tiny_program.declare_on(machine)
+    return machine, tiny_program

@@ -1,0 +1,155 @@
+"""Unit tests for repro.arch: machine template, cluster & memory modes."""
+
+import pytest
+
+from repro.arch.cluster_modes import ClusterMode
+from repro.arch.knl import knl_machine, small_machine
+from repro.arch.machine import Machine, MachineConfig
+from repro.arch.memory_modes import McdramModel, MemoryMode
+from repro.errors import ConfigurationError
+
+
+class TestMachineConfig:
+    def test_rejects_more_banks_than_nodes(self):
+        with pytest.raises(ConfigurationError):
+            MachineConfig(mesh_cols=2, mesh_rows=2, l2_bank_count=8)
+
+    def test_rejects_non_corner_channels(self):
+        with pytest.raises(ConfigurationError):
+            MachineConfig(mc_channel_count=8)
+
+
+class TestMachineGeometry:
+    def test_knl_preset(self):
+        machine = knl_machine()
+        assert machine.node_count == 36
+        assert len(machine.bank_to_node) == 32
+        assert len(machine.mc_nodes) == 4
+        assert machine.mc_nodes == list(machine.mesh.corner_ids())
+
+    def test_edcs_on_edges(self):
+        machine = knl_machine()
+        for edc in machine.edc_nodes:
+            coord = machine.mesh.coord_of(edc)
+            on_edge = (
+                coord.x in (0, machine.mesh.cols - 1)
+                or coord.y in (0, machine.mesh.rows - 1)
+            )
+            assert on_edge
+
+    def test_distance_delegates_to_mesh(self):
+        machine = small_machine()
+        assert machine.distance(0, 15) == machine.mesh.distance(0, 15)
+
+
+class TestHomeNodes:
+    def test_home_is_stable(self, machine):
+        machine.declare_array("A", 1000)
+        assert machine.home_node("A", 5) == machine.home_node("A", 5)
+
+    def test_home_spreads_over_banks(self, machine):
+        machine.declare_array("A", 4096)
+        homes = {machine.home_node("A", i) for i in range(0, 4096, 8)}
+        assert len(homes) >= machine.config.l2_bank_count // 2
+
+    def test_snc4_homes_in_owner_quadrant(self):
+        machine = small_machine(cluster_mode=ClusterMode.SNC4)
+        machine.declare_array("A", 4096)
+        for index in range(0, 4096, 173):
+            owner = machine.default_owner("A", index)
+            home = machine.home_node("A", index)
+            assert machine.mesh.quadrant_of(home) == machine.mesh.quadrant_of(owner)
+
+    def test_owner_hint_controls_snc4_quadrant(self):
+        machine = small_machine(cluster_mode=ClusterMode.SNC4)
+        machine.declare_array("A", 64)
+        for hint in (0, 3, 12, 15):
+            home = machine.home_node("A", 0, owner_hint=hint)
+            assert machine.mesh.quadrant_of(home) == machine.mesh.quadrant_of(hint)
+
+
+class TestMcSelection:
+    def test_quadrant_mode_uses_home_quadrant_corner(self):
+        machine = small_machine(cluster_mode=ClusterMode.QUADRANT)
+        machine.declare_array("A", 4096)
+        for index in range(0, 4096, 111):
+            home = machine.home_node("A", index)
+            mc = machine.mc_node("A", index)
+            assert machine.mesh.quadrant_of(mc) == machine.mesh.quadrant_of(home)
+            assert mc in machine.mc_nodes
+
+    def test_all_to_all_uses_channel_hash(self):
+        machine = small_machine(cluster_mode=ClusterMode.ALL_TO_ALL)
+        machine.declare_array("A", 1 << 15)
+        mcs = {machine.mc_node("A", i) for i in range(0, 1 << 15, 513)}
+        assert mcs.issubset(set(machine.mc_nodes))
+        assert len(mcs) > 1
+
+    def test_flat_mcdram_served_by_edc(self):
+        machine = small_machine()
+        machine.declare_array("A", 1024)
+        machine.record_profile({"A": 100.0})
+        assert machine.mcdram.in_flat_mcdram("A")
+        assert machine.mc_node("A", 0) in machine.edc_nodes
+
+
+class TestMcdramModel:
+    def test_flat_mode_all_flat(self):
+        model = McdramModel(MemoryMode.FLAT, mcdram_capacity_bytes=1 << 20)
+        assert model.flat_capacity == 1 << 20
+        assert model.cache_capacity == 0
+
+    def test_cache_mode_all_cache(self):
+        model = McdramModel(MemoryMode.CACHE, mcdram_capacity_bytes=1 << 20)
+        assert model.flat_capacity == 0
+        assert model.cache_capacity == 1 << 20
+
+    def test_hybrid_splits(self):
+        model = McdramModel(MemoryMode.HYBRID, mcdram_capacity_bytes=1 << 20)
+        assert model.flat_capacity == 1 << 19
+        assert model.cache_capacity == 1 << 19
+
+    def test_place_flat_prefers_hot(self):
+        model = McdramModel(MemoryMode.FLAT, mcdram_capacity_bytes=1000)
+        chosen = model.place_flat({"hot": 600, "cold": 600}, {"hot": 9.0, "cold": 1.0})
+        assert chosen == {"hot"}
+
+    def test_place_flat_fills_remaining(self):
+        model = McdramModel(MemoryMode.FLAT, mcdram_capacity_bytes=1000)
+        chosen = model.place_flat(
+            {"a": 600, "b": 500, "c": 300}, {"a": 3.0, "b": 2.0, "c": 1.0}
+        )
+        assert chosen == {"a", "c"}  # b does not fit after a
+
+    def test_cache_mode_hits_after_first_touch(self):
+        model = McdramModel(MemoryMode.CACHE, mcdram_capacity_bytes=1 << 20)
+        assert model.cache_lookup(5) is False
+        assert model.cache_lookup(5) is True
+
+    def test_flat_access_latency(self):
+        model = McdramModel(MemoryMode.FLAT, mcdram_capacity_bytes=1 << 20)
+        model.place_flat({"A": 100}, {"A": 1.0})
+        assert model.access_cycles("A", 0) == model.mcdram.access_cycles
+        assert model.access_cycles("B", 0) == model.ddr.access_cycles
+
+    def test_cache_mode_miss_costs_more_than_hit(self):
+        model = McdramModel(MemoryMode.CACHE, mcdram_capacity_bytes=1 << 20)
+        miss = model.access_cycles("A", 1)
+        hit = model.access_cycles("A", 1)
+        assert miss > hit
+
+    def test_energy_by_residence(self):
+        model = McdramModel(MemoryMode.FLAT, mcdram_capacity_bytes=1 << 20)
+        model.place_flat({"A": 100}, {"A": 1.0})
+        assert model.access_energy_pj("A") == model.mcdram.energy_pj_per_access
+        assert model.access_energy_pj("B") == model.ddr.energy_pj_per_access
+
+
+class TestModeLabels:
+    def test_fig22_labels(self):
+        assert ClusterMode.ALL_TO_ALL.label == "A"
+        assert ClusterMode.QUADRANT.label == "B"
+        assert ClusterMode.SNC4.label == "C"
+        assert MemoryMode.FLAT.label == "X"
+        assert MemoryMode.CACHE.label == "Y"
+        assert MemoryMode.HYBRID.label == "Z"

@@ -1,0 +1,48 @@
+"""Tests for the terminal bar-chart helpers."""
+
+import pytest
+
+from repro.utils.barchart import bar_chart, grouped_chart, percent_chart
+
+
+class TestBarChart:
+    def test_empty(self):
+        assert bar_chart({}) == "(no data)"
+
+    def test_labels_aligned(self):
+        chart = bar_chart({"a": 1.0, "longer": 2.0})
+        lines = chart.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_max_value_fills_bar(self):
+        chart = bar_chart({"x": 10.0}, width=10)
+        assert "█" * 10 in chart
+
+    def test_zero_value_empty_bar(self):
+        chart = bar_chart({"x": 0.0, "y": 5.0}, width=10)
+        x_line = chart.splitlines()[0]
+        assert "█" not in x_line
+
+    def test_negative_marker(self):
+        chart = bar_chart({"down": -1.0, "up": 1.0})
+        down, up = chart.splitlines()
+        assert " -|" in down
+        assert "  |" in up.replace("up", "  ", 1) or " |" in up
+
+    def test_scale_override(self):
+        half = bar_chart({"x": 5.0}, width=10, limit=10.0)
+        assert half.count("█") == 5
+
+    def test_values_shown(self):
+        chart = bar_chart({"x": 3.25}, formatter=lambda v: f"{v:.2f}")
+        assert "3.25" in chart
+
+    def test_percent_chart(self):
+        chart = percent_chart({"a": 0.25, "b": -0.5})
+        assert "+25.0%" in chart
+        assert "-50.0%" in chart
+
+    def test_grouped_chart(self):
+        chart = grouped_chart({"app": {"ours": 0.1, "ideal": 0.2}})
+        assert chart.startswith("app:")
+        assert "ours" in chart and "ideal" in chart

@@ -1,0 +1,90 @@
+"""Smoke tests for the experiment harnesses on a 2-app subset.
+
+These verify each table/figure module runs end to end and produces
+well-formed reports; the full-suite shape assertions live in benchmarks/.
+"""
+
+import pytest
+
+from repro.experiments import (
+    clear_cache,
+    common,
+    fig13_movement,
+    fig14_parallelism,
+    fig15_syncs,
+    fig16_l1,
+    fig19_latency,
+    table1_analyzable,
+    table2_predictor,
+    table3_opmix,
+)
+
+APPS = ["cholesky", "barnes"]
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _warm_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestCommon:
+    def test_compare_app_cached(self):
+        first = common.compare_app(APPS[0])
+        second = common.compare_app(APPS[0])
+        assert first is second
+
+    def test_comparison_fields(self):
+        comparison = common.compare_app(APPS[0])
+        assert comparison.default_metrics.total_cycles > 0
+        assert comparison.optimized_metrics.total_cycles > 0
+        assert -1.0 <= comparison.movement_reduction() <= 1.0
+        assert -1.0 <= comparison.time_reduction() <= 1.0
+
+    def test_format_table(self):
+        text = common.format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+
+class TestTables:
+    def test_table1(self):
+        result = table1_analyzable.run(apps=APPS)
+        assert set(result.fractions) == set(APPS)
+        assert "Table 1" in result.report()
+
+    def test_table2(self):
+        result = table2_predictor.run(apps=APPS, training_instances=1500)
+        assert all(0 <= a <= 1 for a in result.accuracy.values())
+        assert "Table 2" in result.report()
+
+    def test_table3(self):
+        result = table3_opmix.run(apps=APPS)
+        assert set(result.mixes) == set(APPS)
+        assert "Table 3" in result.report()
+
+
+class TestFigures:
+    def test_fig13(self):
+        result = fig13_movement.run(apps=APPS)
+        assert set(result.reductions) == set(APPS)
+        assert "Figure 13" in result.report()
+
+    def test_fig14(self):
+        result = fig14_parallelism.run(apps=APPS)
+        assert all(avg >= 1.0 for avg, _ in result.parallelism.values())
+
+    def test_fig15(self):
+        result = fig15_syncs.run(apps=APPS)
+        for minimized, unminimized in result.syncs.values():
+            assert minimized <= unminimized
+
+    def test_fig16(self):
+        result = fig16_l1.run(apps=APPS)
+        assert set(result.improvement) == set(APPS)
+
+    def test_fig19(self):
+        result = fig19_latency.run(apps=APPS)
+        assert set(result.reductions) == set(APPS)

@@ -1,0 +1,87 @@
+"""Tests for the empirical gate and plan selection in the partitioner."""
+
+import copy
+
+import pytest
+
+from repro.arch.knl import small_machine
+from repro.core.partitioner import NdpPartitioner, PartitionConfig
+from repro.core.window import WindowConfig
+from repro.ir.loop import Loop, LoopNest
+from repro.ir.parser import parse_statement
+from repro.ir.program import Program
+
+
+def gate_program():
+    """A program whose statements are cheap to schedule either way."""
+    p = Program("gated")
+    n = 128
+    for phase, name in ((2, "B"), (5, "C"), (8, "D")):
+        p.declare(name, 8 * n + 16, bank_phase=phase)
+    p.declare("A", 4 * n + 16, bank_phase=11)
+    p.add_nest(
+        LoopNest.of(
+            [Loop("t", 0, 2), Loop("i", 0, n)],
+            [parse_statement("A(4*i) = B(8*i) + C(8*i) + D(8*i)")],
+            "main",
+        )
+    )
+    return p
+
+
+class TestGate:
+    def test_gate_records_variant(self, machine):
+        result = NdpPartitioner(machine, PartitionConfig()).partition(gate_program())
+        assert result.variant_by_nest["main"] in ("star", "profile", "split")
+
+    def test_gate_disabled_uses_profile_plan(self, machine):
+        config = PartitionConfig(gate_sample_instances=-1, use_predictor=False)
+        result = NdpPartitioner(machine, config).partition(gate_program())
+        assert result.variant_by_nest["main"] in ("star", "profile")
+
+    def test_always_split_bypasses_gate(self, machine):
+        config = PartitionConfig(window=WindowConfig(always_split=True))
+        result = NdpPartitioner(machine, config).partition(gate_program())
+        assert result.variant_by_nest["main"] == "split"
+        # Splitting produced multi-unit statements somewhere.
+        multi = [
+            s
+            for s in result.nest_schedules["main"].statement_schedules()
+            if len(s.subcomputations) > 1
+        ]
+        assert multi
+
+    def test_star_plan_units_match_instance_count(self, machine):
+        config = PartitionConfig(
+            split_plan_override={("main", 0): False}, use_predictor=False
+        )
+        program = gate_program()
+        result = NdpPartitioner(machine, config).partition(program)
+        assert len(result.units()) == program.total_instances()
+
+    def test_plan_exposed_for_reuse(self, machine):
+        result = NdpPartitioner(machine, PartitionConfig()).partition(gate_program())
+        assert set(result.split_plan) == {("main", 0)}
+        # Feeding the plan back reproduces the same variant choice.
+        machine2 = small_machine()
+        config = PartitionConfig(
+            split_plan_override=result.split_plan, use_predictor=False
+        )
+        result2 = NdpPartitioner(machine2, config).partition(gate_program())
+        assert result2.variant_by_nest["main"] == "override"
+        plan_units = {u.node for u in result.units()}
+        override_units = {u.node for u in result2.units()}
+        if result.variant_by_nest["main"] == "star":
+            assert plan_units == override_units
+
+    def test_sample_gate_allowed(self, machine):
+        config = PartitionConfig(gate_sample_instances=64)
+        result = NdpPartitioner(machine, config).partition(gate_program())
+        assert result.statement_count == gate_program().total_instances()
+
+    def test_movement_tolerance_zero_forces_strict(self, machine):
+        config = PartitionConfig(gate_movement_tolerance=0.0)
+        result = NdpPartitioner(machine, config).partition(gate_program())
+        # With zero tolerance a split must strictly reduce movement; the
+        # partition still completes either way.
+        assert result.statement_count == gate_program().total_instances()

@@ -1,0 +1,166 @@
+"""Unit tests for repro.ir expressions and the statement parser."""
+
+import pytest
+
+from repro.errors import DependenceError, ParseError
+from repro.ir.expr import AffineIndex, BinOp, Const, IndirectIndex, Ref
+from repro.ir.parser import parse_expr, parse_statement
+
+
+class TestAffineIndex:
+    def test_evaluate(self):
+        index = AffineIndex((("i", 2),), 3)
+        assert index.evaluate({"i": 5}) == 13
+
+    def test_multi_variable(self):
+        index = AffineIndex((("i", 1), ("j", 4)), 0)
+        assert index.evaluate({"i": 2, "j": 3}) == 14
+
+    def test_unbound_variable(self):
+        with pytest.raises(DependenceError):
+            AffineIndex.of("i").evaluate({})
+
+    def test_analyzable(self):
+        assert AffineIndex.of("i").is_analyzable
+
+    def test_constant(self):
+        assert AffineIndex.constant(7).evaluate({}) == 7
+
+
+class TestIndirectIndex:
+    def test_not_analyzable(self):
+        index = IndirectIndex("Y", AffineIndex.of("i"))
+        assert not index.is_analyzable
+
+    def test_direct_evaluate_rejected(self):
+        index = IndirectIndex("Y", AffineIndex.of("i"))
+        with pytest.raises(DependenceError):
+            index.evaluate({"i": 0})
+
+    def test_variables(self):
+        index = IndirectIndex("Y", AffineIndex.of("i"))
+        assert index.variables() == ("i",)
+
+
+class TestParserBasics:
+    def test_simple_statement(self):
+        statement = parse_statement("A(i) = B(i) + C(i)")
+        assert statement.lhs.array == "A"
+        assert [ref.array for ref in statement.input_refs()] == ["B", "C"]
+
+    def test_whitespace_insensitive(self):
+        a = parse_statement("A(i)=B(i)+C(i)")
+        b = parse_statement("A(i) = B(i) + C(i)")
+        assert str(a) == str(b)
+
+    def test_scalar_refs(self):
+        statement = parse_statement("x = a + b")
+        assert statement.lhs.indices == ()
+        assert str(statement) == "x = a + b"
+
+    def test_numbers(self):
+        statement = parse_statement("A(i) = B(i) + 0.5")
+        consts = [n for n in statement.rhs.walk() if isinstance(n, Const)]
+        assert consts[0].value == 0.5
+
+    def test_precedence(self):
+        expr = parse_expr("a + b * c")
+        assert isinstance(expr, BinOp) and expr.op == "+"
+        assert isinstance(expr.right, BinOp) and expr.right.op == "*"
+
+    def test_parentheses(self):
+        expr = parse_expr("(a + b) * c")
+        assert expr.op == "*"
+        assert isinstance(expr.left, BinOp) and expr.left.op == "+"
+
+    def test_left_associativity(self):
+        expr = parse_expr("a - b - c")
+        # (a - b) - c
+        assert expr.op == "-" and isinstance(expr.left, BinOp)
+        assert expr.left.op == "-"
+
+    def test_division(self):
+        expr = parse_expr("a / b")
+        assert expr.op == "/"
+
+
+class TestParserSubscripts:
+    def test_affine_with_coefficient(self):
+        statement = parse_statement("A(2*i+3) = B(i)")
+        index = statement.lhs.indices[0]
+        assert index.coeff_map() == {"i": 2}
+        assert index.const == 3
+
+    def test_coefficient_postfix(self):
+        statement = parse_statement("A(i*4) = B(i)")
+        assert statement.lhs.indices[0].coeff_map() == {"i": 4}
+
+    def test_negative_offset(self):
+        statement = parse_statement("A(i-1) = B(i)")
+        assert statement.lhs.indices[0].const == -1
+
+    def test_multi_dimensional(self):
+        statement = parse_statement("A(i,j) = A(i-1,j) + A(i,j+1)")
+        assert len(statement.lhs.indices) == 2
+
+    def test_indirect(self):
+        statement = parse_statement("X(i) = W(Y(i))")
+        index = statement.input_refs()[0].indices[0]
+        assert isinstance(index, IndirectIndex)
+        assert index.array == "Y"
+
+    def test_indirect_with_affine_inner(self):
+        statement = parse_statement("X(i) = W(Y(2*i+1))")
+        index = statement.input_refs()[0].indices[0]
+        assert index.inner.coeff_map() == {"i": 2}
+        assert index.inner.const == 1
+
+    def test_merged_coefficients(self):
+        statement = parse_statement("A(i+i) = B(i)")
+        assert statement.lhs.indices[0].coeff_map() == {"i": 2}
+
+
+class TestParserErrors:
+    def test_missing_rhs(self):
+        with pytest.raises(ParseError):
+            parse_statement("A(i) =")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_statement("A(i) = B(i) )")
+
+    def test_unbalanced_paren(self):
+        with pytest.raises(ParseError):
+            parse_statement("A(i = B(i)")
+
+    def test_bad_character(self):
+        with pytest.raises(ParseError):
+            parse_statement("A(i) = B(i) & C(i)")
+
+    def test_float_subscript_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statement("A(1.5) = B(i)")
+
+
+class TestStatementProperties:
+    def test_operator_counts(self):
+        statement = parse_statement("A(i) = B(i) + C(i) * D(i) - E(i)")
+        assert statement.operator_counts() == {"+": 1, "*": 1, "-": 1}
+
+    def test_operation_count(self):
+        statement = parse_statement("A(i) = B(i) + C(i) + D(i)")
+        assert statement.operation_count() == 2
+
+    def test_analyzability(self):
+        assert parse_statement("A(i) = B(2*i)").is_analyzable
+        assert not parse_statement("A(i) = B(Y(i))").is_analyzable
+
+    def test_variables(self):
+        statement = parse_statement("A(i,j) = B(j) + C(k)")
+        assert set(statement.variables()) == {"i", "j", "k"}
+
+    def test_str_roundtrip_parses(self):
+        source = "A(i) = B(i) + C(i) * (D(i) + E(i))"
+        statement = parse_statement(source)
+        again = parse_statement(str(statement))
+        assert str(again) == str(statement)

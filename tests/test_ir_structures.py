@@ -1,0 +1,282 @@
+"""Unit tests for nested sets, loops, programs, dependences, inspector."""
+
+import pytest
+
+from repro.errors import ConfigurationError, WorkloadError
+from repro.ir.dependence import (
+    DependenceKind,
+    analyzable_fraction,
+    instance_dependences,
+    may_depend,
+)
+from repro.ir.inspector import InspectorExecutor
+from repro.ir.loop import Loop, LoopNest
+from repro.ir.nested_sets import LeafOperand, OperandSet, build_operand_tree
+from repro.ir.parser import parse_statement
+from repro.ir.program import ArrayDecl, Program
+
+
+class TestNestedSets:
+    def test_flat_sum(self):
+        tree = build_operand_tree(parse_statement("A(i) = B(i)+C(i)+D(i)+E(i)").rhs)
+        assert tree.op_kind == "+"
+        assert tree.member_count == 4
+        assert all(isinstance(m, LeafOperand) for m in tree.members)
+
+    def test_operation_count(self):
+        tree = build_operand_tree(parse_statement("A(i) = B(i)+C(i)+D(i)").rhs)
+        assert tree.operation_count() == 2
+
+    def test_parentheses_nest(self):
+        tree = build_operand_tree(
+            parse_statement("A(i) = B(i) * (C(i) + D(i) + E(i))").rhs
+        )
+        assert tree.op_kind == "*"
+        inner = [m for m in tree.members if isinstance(m, OperandSet)]
+        assert len(inner) == 1 and inner[0].member_count == 3
+
+    def test_paper_mixed_example_structured(self):
+        # x = a * (b + c) + d * (e + f + g)
+        tree = build_operand_tree(
+            parse_statement("x = a * (b + c) + d * (e + f + g)").rhs
+        )
+        assert tree.op_kind == "+"
+        assert tree.member_count == 2
+        assert all(m.op_kind == "*" for m in tree.members)
+
+    def test_paper_mixed_example_flattened(self):
+        tree = build_operand_tree(
+            parse_statement("x = a * (b + c) + d * (e + f + g)").rhs,
+            flatten_products=True,
+        )
+        # The paper's literal form: (a, (b, c), d, (e, f, g)).
+        assert tree.member_count == 4
+
+    def test_negation_marks_member(self):
+        tree = build_operand_tree(parse_statement("A(i) = B(i) - C(i)").rhs)
+        assert tree.members[1].negated
+
+    def test_division_marks_member(self):
+        tree = build_operand_tree(parse_statement("A(i) = B(i) / C(i)").rhs)
+        assert tree.members[1].inverted
+
+    def test_constants_fold_into_ops(self):
+        tree = build_operand_tree(parse_statement("A(i) = B(i) + C(i) + 1").rhs)
+        assert tree.member_count == 2
+        assert tree.extra_ops == 1
+        assert tree.operation_count() == 2  # one member op + one const op
+
+    def test_single_ref(self):
+        tree = build_operand_tree(parse_statement("A(i) = B(i)").rhs)
+        assert tree is not None and tree.member_count == 1
+
+    def test_pure_constant(self):
+        assert build_operand_tree(parse_statement("A(i) = 5").rhs) is None
+
+    def test_leaf_positions_match_reads(self):
+        statement = parse_statement("A(i) = B(i) + C(i) + B(i)")
+        tree = build_operand_tree(statement.rhs)
+        positions = [leaf.position for leaf in tree.leaves()]
+        assert positions == [0, 1, 2]
+
+    def test_innermost_first_order(self):
+        tree = build_operand_tree(
+            parse_statement("x = a * (b + c) + d * (e + f + g)").rhs
+        )
+        ordered = tree.innermost_first()
+        assert ordered[-1] is tree
+        assert all(s.member_count >= 1 for s in ordered)
+
+
+class TestLoops:
+    def test_trip_count(self):
+        assert Loop("i", 0, 10).trip_count == 10
+        assert Loop("i", 0, 10, 3).trip_count == 4
+
+    def test_zero_step_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Loop("i", 0, 10, 0)
+
+    def test_nest_validation(self):
+        statement = parse_statement("A(i) = B(i)")
+        with pytest.raises(ConfigurationError):
+            LoopNest.of([], [statement])
+        with pytest.raises(ConfigurationError):
+            LoopNest.of([Loop("i", 0, 4)], [])
+        with pytest.raises(ConfigurationError):
+            LoopNest.of([Loop("i", 0, 4), Loop("i", 0, 4)], [statement])
+
+    def test_iteration_order_lexicographic(self):
+        nest = LoopNest.of(
+            [Loop("i", 0, 2), Loop("j", 0, 2)],
+            [parse_statement("A(i,j) = B(i,j)")],
+        )
+        points = [dict(b) for b in nest.iterations()]
+        assert points == [
+            {"i": 0, "j": 0}, {"i": 0, "j": 1}, {"i": 1, "j": 0}, {"i": 1, "j": 1}
+        ]
+
+    def test_instance_count(self):
+        nest = LoopNest.of(
+            [Loop("i", 0, 3)],
+            [parse_statement("A(i) = B(i)"), parse_statement("C(i) = A(i)")],
+        )
+        assert nest.instance_count == 6
+
+
+class TestProgram:
+    def test_linearize_row_major(self):
+        decl = ArrayDecl("A", (4, 5))
+        assert decl.linearize([2, 3]) == 13
+
+    def test_linearize_clamps(self):
+        decl = ArrayDecl("A", (4, 4))
+        assert decl.linearize([-1, 0]) == 0
+        assert decl.linearize([0, 9]) == 3
+
+    def test_undeclared_array_rejected(self):
+        p = Program()
+        with pytest.raises(WorkloadError):
+            p.add_nest(
+                LoopNest.of([Loop("i", 0, 2)], [parse_statement("A(i) = B(i)")])
+            )
+
+    def test_double_declare_rejected(self):
+        p = Program()
+        p.declare("A", 4)
+        with pytest.raises(WorkloadError):
+            p.declare("A", 4)
+
+    def test_instances_resolve_accesses(self, tiny_program):
+        instances = list(tiny_program.instances())
+        first = instances[0]
+        assert first.write.array == "A"
+        assert [a.array for a in first.reads] == ["B", "C", "D", "E"]
+        assert first.reads[0].index == 0
+
+    def test_seq_is_global_and_ordered(self, tiny_program):
+        seqs = [inst.seq for inst in tiny_program.instances()]
+        assert seqs == list(range(len(seqs)))
+
+    def test_body_index(self, tiny_program):
+        instances = list(tiny_program.instances())
+        assert instances[0].body_index == 0
+        assert instances[1].body_index == 1
+
+    def test_seq_base_of_second_nest(self):
+        p = Program()
+        p.declare("A", 64)
+        s = parse_statement("A(i) = A(i) + A(i+1)")
+        p.add_nest(LoopNest.of([Loop("i", 0, 10)], [s], "first"))
+        p.add_nest(LoopNest.of([Loop("i", 0, 5)], [s], "second"))
+        assert p.seq_base_of(p.nests[0]) == 0
+        assert p.seq_base_of(p.nests[1]) == 10
+
+    def test_indirect_needs_data(self):
+        p = Program()
+        p.declare("X", 8)
+        p.declare("Y", 8)
+        p.add_nest(
+            LoopNest.of([Loop("i", 0, 4)], [parse_statement("X(i) = X(Y(i))")])
+        )
+        with pytest.raises(WorkloadError):
+            list(p.instances())
+
+    def test_indirect_resolution(self):
+        p = Program()
+        p.declare("X", 8)
+        p.declare("W", 8)
+        p.declare("Y", 8)
+        p.set_index_data("Y", [7, 6, 5, 4, 3, 2, 1, 0])
+        p.add_nest(
+            LoopNest.of([Loop("i", 0, 4)], [parse_statement("X(i) = W(Y(i))")])
+        )
+        reads = [inst.reads[0].index for inst in p.instances()]
+        assert reads == [7, 6, 5, 4]
+
+
+class TestDependences:
+    def make_instances(self, sources, trip=4):
+        p = Program()
+        for name in ("A", "B", "C"):
+            p.declare(name, 64)
+        p.add_nest(
+            LoopNest.of([Loop("i", 0, trip)], [parse_statement(s) for s in sources])
+        )
+        return list(p.instances())
+
+    def test_flow_dependence(self):
+        instances = self.make_instances(["A(i) = B(i) + B(i+1)", "C(i) = A(i) + B(i)"])
+        deps = instance_dependences(instances)
+        flows = [d for d in deps if d.kind is DependenceKind.FLOW]
+        assert any(d.src_seq == 0 and d.dst_seq == 1 for d in flows)
+
+    def test_anti_dependence(self):
+        instances = self.make_instances(["C(i) = A(i+1) + B(i)", "A(i+1) = B(i) + B(i+1)"])
+        deps = instance_dependences(instances)
+        assert any(d.kind is DependenceKind.ANTI for d in deps)
+
+    def test_output_dependence(self):
+        instances = self.make_instances(["A(0) = B(i) + B(i+1)"])
+        deps = instance_dependences(instances)
+        outputs = [d for d in deps if d.kind is DependenceKind.OUTPUT]
+        assert len(outputs) == 3  # 4 writes to A[0] -> 3 output deps
+
+    def test_no_false_dependences(self):
+        instances = self.make_instances(["A(i) = B(i) + B(i+1)"], trip=3)
+        deps = [d for d in instance_dependences(instances) if d.src_seq != d.dst_seq]
+        assert deps == []
+
+    def test_may_depend_flags_indirect(self, tiny_program):
+        assert not may_depend(tiny_program)
+        p = Program()
+        p.declare("X", 8)
+        p.declare("Y", 8)
+        p.set_index_data("Y", list(range(8)))
+        p.add_nest(LoopNest.of([Loop("i", 0, 4)], [parse_statement("X(i) = X(Y(i))")]))
+        assert may_depend(p)
+
+    def test_analyzable_fraction(self, tiny_program):
+        assert analyzable_fraction(tiny_program) == 1.0
+
+
+class TestInspector:
+    def make_irregular(self):
+        p = Program()
+        p.declare("X", 64)
+        p.declare("W", 64)
+        p.declare("Y", 64)
+        p.set_index_data("Y", list(reversed(range(64))))
+        p.add_nest(
+            LoopNest.of(
+                [Loop("i", 0, 16)], [parse_statement("X(i) = X(i) + W(Y(i))")], "g"
+            )
+        )
+        return p
+
+    def test_needs_inspection(self):
+        p = self.make_irregular()
+        inspector = InspectorExecutor(p)
+        assert inspector.needs_inspection(p.nests[0])
+
+    def test_index_arrays_detected(self):
+        p = self.make_irregular()
+        assert InspectorExecutor(p).index_arrays_of(p.nests[0]) == {"Y"}
+
+    def test_inspect_counts(self):
+        p = self.make_irregular()
+        result = InspectorExecutor(p, inspect_iterations=4).inspect(p.nests[0])
+        assert result.instances_inspected == 4
+        assert result.indirect_reference_count == 4
+        assert result.has_may_dependences
+
+    def test_inspect_all_only_irregular(self, tiny_program):
+        assert InspectorExecutor(tiny_program).inspect_all() == {}
+
+    def test_missing_index_data_raises(self):
+        p = Program()
+        p.declare("X", 8)
+        p.declare("Y", 8)
+        p.add_nest(LoopNest.of([Loop("i", 0, 4)], [parse_statement("X(i) = X(Y(i))")]))
+        with pytest.raises(WorkloadError):
+            InspectorExecutor(p).inspect(p.nests[0])

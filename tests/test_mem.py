@@ -1,0 +1,211 @@
+"""Unit tests for repro.mem: address mapping, page allocator, data layout."""
+
+import pytest
+
+from repro.errors import MappingError
+from repro.mem.address import (
+    AddressMapping,
+    BitField,
+    CacheLineInterleaving,
+    PageInterleaving,
+)
+from repro.mem.dram import DDR4_PARAMS, MCDRAM_PARAMS
+from repro.mem.layout import ArraySpec, DataLayout
+from repro.mem.page_alloc import PageAllocator
+
+
+class TestBitField:
+    def test_extract(self):
+        field = BitField(4, 4)
+        assert field.extract(0xAB) == 0xA
+
+    def test_insert(self):
+        field = BitField(4, 4)
+        assert field.insert(0x0B, 0xC) == 0xCB
+
+    def test_insert_overflow_rejected(self):
+        with pytest.raises(MappingError):
+            BitField(0, 2).insert(0, 4)
+
+    def test_roundtrip(self):
+        field = BitField(6, 5)
+        address = 0b101_11010_110101
+        assert field.insert(address, field.extract(address)) == address
+
+
+class TestCacheLineInterleaving:
+    def test_figure_2a_bits(self):
+        # 64B lines, 32 banks, no fold: bank = bits 6..10 exactly.
+        inter = CacheLineInterleaving(64, 32, hash_fold=False)
+        address = 0b11111 << 6
+        assert inter.bank_of(address) == 31
+        assert inter.bank_of(address + 63) == 31  # same line
+
+    def test_consecutive_blocks_consecutive_banks(self):
+        inter = CacheLineInterleaving(64, 32, hash_fold=False)
+        banks = [inter.bank_of(block * 64) for block in range(8)]
+        assert banks == list(range(8))
+
+    def test_block_of(self):
+        inter = CacheLineInterleaving(64, 32)
+        assert inter.block_of(129) == 2
+
+    def test_bank_counts_power_of_two_required(self):
+        with pytest.raises(MappingError):
+            CacheLineInterleaving(64, 33)
+
+    def test_fold_is_xor_linear(self):
+        inter = CacheLineInterleaving(64, 32, hash_fold=True)
+        page = 4096
+        for address in (0, 640, 8192 + 320):
+            expected = inter.page_bank_contribution(address, page) ^ inter.bank_of(
+                address % page
+            )
+            # bank(addr) == contribution(page base) ^ bank(offset-in-page)
+            assert inter.bank_of(address) == expected
+
+    def test_page_contribution_no_fold_default_geometry(self):
+        inter = CacheLineInterleaving(64, 32, hash_fold=False)
+        # All bank bits live inside the 4KB page offset: contribution is the
+        # bank of the page base, == 0 for aligned pages.
+        assert inter.page_bank_contribution(8 * 4096, 4096) == 0
+
+
+class TestPageInterleaving:
+    def test_figure_2b_fields(self):
+        inter = PageInterleaving(4096, 4, 4, 8)
+        assert inter.channel_field.low == 12
+        assert inter.rank_field.low == 14
+        assert inter.bank_field.low == 16
+
+    def test_channel_of(self):
+        inter = PageInterleaving()
+        assert inter.channel_of(3 << 12) == 3
+
+    def test_same_page_same_channel(self):
+        inter = PageInterleaving()
+        base = 5 * 4096
+        assert inter.channel_of(base) == inter.channel_of(base + 4095)
+
+    def test_page_of(self):
+        inter = PageInterleaving()
+        assert inter.page_of(4096 * 7 + 123) == 7
+
+    def test_with_channel(self):
+        inter = PageInterleaving()
+        moved = inter.with_channel(0, 2)
+        assert inter.channel_of(moved) == 2
+
+
+class TestPageAllocator:
+    def test_translation_is_stable(self):
+        alloc = PageAllocator(AddressMapping.default())
+        assert alloc.translate(123456) == alloc.translate(123456)
+
+    def test_distinct_pages_get_distinct_frames(self):
+        alloc = PageAllocator(AddressMapping.default())
+        a = alloc.translate_page(0)
+        b = alloc.translate_page(1)
+        assert a.physical_frame != b.physical_frame
+
+    def test_preserves_channel_bits(self):
+        alloc = PageAllocator(AddressMapping.default())
+        mapping = alloc.mapping
+        for va in range(0, 300000, 4096 + 64):
+            pa = alloc.translate(va)
+            assert mapping.memory.channel_of(pa) == mapping.memory.channel_of(va)
+
+    def test_preserves_bank_bits(self):
+        alloc = PageAllocator(AddressMapping.default())
+        mapping = alloc.mapping
+        for va in range(0, 300000, 777):
+            pa = alloc.translate(va)
+            assert mapping.l2.bank_of(pa) == mapping.l2.bank_of(va)
+
+    def test_invariant_helper(self):
+        alloc = PageAllocator(AddressMapping.default())
+        assert alloc.preserves_location_bits(98765)
+
+    def test_offset_preserved(self):
+        alloc = PageAllocator(AddressMapping.default())
+        pa = alloc.translate(4096 * 3 + 1234)
+        assert pa % 4096 == 1234
+
+    def test_mapped_page_count(self):
+        alloc = PageAllocator(AddressMapping.default())
+        alloc.translate(0)
+        alloc.translate(100)      # same page
+        alloc.translate(4096)     # new page
+        assert alloc.mapped_page_count == 2
+
+
+class TestDataLayout:
+    def test_declare_and_lookup(self):
+        layout = DataLayout()
+        layout.declare("A", 100)
+        assert layout.has_array("A")
+        assert layout.spec("A").length == 100
+
+    def test_double_declare_rejected(self):
+        layout = DataLayout()
+        layout.declare("A", 10)
+        with pytest.raises(MappingError):
+            layout.declare("A", 10)
+
+    def test_unknown_array(self):
+        with pytest.raises(MappingError):
+            DataLayout().va_of("nope", 0)
+
+    def test_bounds_check(self):
+        layout = DataLayout()
+        layout.declare("A", 10)
+        with pytest.raises(MappingError):
+            layout.va_of("A", 10)
+
+    def test_consecutive_elements_share_block(self):
+        layout = DataLayout()
+        layout.declare("A", 100)
+        assert layout.block_of("A", 0) == layout.block_of("A", 1)
+
+    def test_block_advances_every_eight_doubles(self):
+        layout = DataLayout()
+        layout.declare("A", 100)
+        assert layout.block_of("A", 8) == layout.block_of("A", 0) + 1
+
+    def test_same_index_different_arrays_different_banks(self):
+        layout = DataLayout()
+        for name in "ABCDE":
+            layout.declare(name, 1000)
+        banks = {layout.l2_bank_of(name, 7) for name in "ABCDE"}
+        assert len(banks) == 5  # the stagger spreads them
+
+    def test_consecutive_blocks_consecutive_banks(self):
+        layout = DataLayout()
+        layout.declare("A", 10000)
+        bank0 = layout.l2_bank_of("A", 0)
+        bank1 = layout.l2_bank_of("A", 8)
+        count = layout.mapping.l2.bank_count
+        assert bank1 == (bank0 + 1) % count
+
+    def test_same_block_helper(self):
+        layout = DataLayout()
+        layout.declare("A", 100)
+        layout.declare("B", 100)
+        assert layout.same_block("A", 0, "A", 7)
+        assert not layout.same_block("A", 0, "B", 0)
+
+    def test_total_bytes(self):
+        layout = DataLayout()
+        layout.declare("A", 100, element_size=8)
+        layout.declare("B", 50, element_size=4)
+        assert layout.total_bytes() == 1000
+
+
+class TestDramParams:
+    def test_mcdram_faster_than_ddr(self):
+        assert MCDRAM_PARAMS.access_cycles < DDR4_PARAMS.access_cycles
+
+    def test_scaled(self):
+        scaled = DDR4_PARAMS.scaled(2.0)
+        assert scaled.access_cycles == DDR4_PARAMS.access_cycles * 2
+        assert scaled.name == DDR4_PARAMS.name

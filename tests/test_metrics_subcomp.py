@@ -1,0 +1,71 @@
+"""Tests for SimMetrics derived statistics and Subcomputation helpers."""
+
+import pytest
+
+from repro.core.subcomputation import GatheredInput, SubResult, Subcomputation
+from repro.ir.statement import Access
+from repro.sim.metrics import SimMetrics
+
+
+class TestSimMetrics:
+    def test_hit_rates_empty(self):
+        metrics = SimMetrics()
+        assert metrics.l1_hit_rate() == 0.0
+        assert metrics.l2_hit_rate() == 0.0
+
+    def test_hit_rates(self):
+        metrics = SimMetrics(l1_hits=3, l1_misses=1, l2_hits=1, l2_misses=1)
+        assert metrics.l1_hit_rate() == pytest.approx(0.75)
+        assert metrics.l2_hit_rate() == pytest.approx(0.5)
+
+    def test_movement_per_statement_sorted_by_seq(self):
+        metrics = SimMetrics(movement_by_seq={3: 7, 1: 2})
+        assert metrics.movement_per_statement() == [2, 7]
+        assert metrics.average_movement_per_statement() == pytest.approx(4.5)
+        assert metrics.max_movement_per_statement() == 7
+
+    def test_syncs_per_statement(self):
+        metrics = SimMetrics(sync_count=6, statement_count=3)
+        assert metrics.syncs_per_statement() == pytest.approx(2.0)
+        assert SimMetrics().syncs_per_statement() == 0.0
+
+    def test_summary_contains_key_stats(self):
+        metrics = SimMetrics(total_cycles=100.0, data_movement=42)
+        text = metrics.summary()
+        assert "cycles=100" in text
+        assert "movement=42" in text
+
+
+class TestSubcomputation:
+    def make(self, **kwargs):
+        defaults = dict(
+            uid=1, seq=0, node=3, op="+", op_count=2, cost=2.0,
+            gathered=(
+                GatheredInput(Access("B", 0), 5, 2),
+                GatheredInput(Access("C", 0), 3, 0, l1_hit=True),
+            ),
+            sub_results=(SubResult(0, 7, 4),),
+            store=None,
+        )
+        defaults.update(kwargs)
+        return Subcomputation(**defaults)
+
+    def test_movement_sums_inputs(self):
+        assert self.make().movement == 6  # 2 + 0 + 4
+
+    def test_is_final(self):
+        assert not self.make().is_final
+        assert self.make(store=Access("A", 0)).is_final
+
+    def test_sync_count(self):
+        sub = self.make()
+        assert sub.sync_count == 1
+
+    def test_describe_mentions_inputs(self):
+        text = self.make().describe()
+        assert "B[0]" in text and "T0" in text
+        assert text.startswith("node 3:")
+
+    def test_source_override_in_describe_target(self):
+        sub = self.make(store=Access("A", 9))
+        assert "A[9]" in sub.describe()

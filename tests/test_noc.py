@@ -1,0 +1,189 @@
+"""Unit tests for repro.noc: topology, routing, traffic, latency."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.noc.network import NetworkModel, NetworkParams
+from repro.noc.routing import xy_route_links, xy_route_nodes
+from repro.noc.topology import Coord, Mesh2D
+from repro.noc.traffic import TrafficMatrix
+
+
+class TestCoord:
+    def test_manhattan(self):
+        assert Coord(0, 0).manhattan(Coord(3, 4)) == 7
+
+    def test_manhattan_symmetric(self):
+        a, b = Coord(1, 5), Coord(4, 2)
+        assert a.manhattan(b) == b.manhattan(a)
+
+    def test_manhattan_self_zero(self):
+        assert Coord(2, 2).manhattan(Coord(2, 2)) == 0
+
+
+class TestMesh2D:
+    def test_rejects_degenerate(self):
+        with pytest.raises(ConfigurationError):
+            Mesh2D(0, 3)
+
+    def test_node_count(self):
+        assert Mesh2D(6, 6).node_count == 36
+
+    def test_coord_id_roundtrip(self):
+        mesh = Mesh2D(5, 3)
+        for node in range(mesh.node_count):
+            assert mesh.id_of(mesh.coord_of(node)) == node
+
+    def test_row_major_ids(self):
+        mesh = Mesh2D(4, 4)
+        assert mesh.coord_of(0) == Coord(0, 0)
+        assert mesh.coord_of(5) == Coord(1, 1)
+
+    def test_distance_matches_manhattan(self):
+        mesh = Mesh2D(6, 6)
+        assert mesh.distance(0, 35) == 10  # (0,0) -> (5,5)
+
+    def test_out_of_range_id(self):
+        with pytest.raises(ConfigurationError):
+            Mesh2D(2, 2).coord_of(4)
+
+    def test_neighbors_interior(self):
+        mesh = Mesh2D(4, 4)
+        assert sorted(mesh.neighbors(5)) == [1, 4, 6, 9]
+
+    def test_neighbors_corner(self):
+        mesh = Mesh2D(4, 4)
+        assert sorted(mesh.neighbors(0)) == [1, 4]
+
+    def test_corner_ids(self):
+        assert Mesh2D(4, 4).corner_ids() == (0, 3, 12, 15)
+
+    def test_quadrants_partition_nodes(self):
+        mesh = Mesh2D(6, 6)
+        seen = []
+        for quadrant in range(4):
+            seen.extend(mesh.nodes_in_quadrant(quadrant))
+        assert sorted(seen) == list(range(36))
+
+    def test_quadrant_of_corners(self):
+        mesh = Mesh2D(6, 6)
+        corners = mesh.corner_ids()
+        assert {mesh.quadrant_of(c) for c in corners} == {0, 1, 2, 3}
+
+    def test_diameter(self):
+        assert Mesh2D(6, 6).diameter() == 10
+
+
+class TestRouting:
+    def test_route_self(self):
+        mesh = Mesh2D(4, 4)
+        assert xy_route_nodes(mesh, 5, 5) == [5]
+        assert xy_route_links(mesh, 5, 5) == []
+
+    def test_route_length_equals_distance(self):
+        mesh = Mesh2D(6, 6)
+        for src, dst in [(0, 35), (7, 12), (30, 5)]:
+            assert len(xy_route_links(mesh, src, dst)) == mesh.distance(src, dst)
+
+    def test_x_before_y(self):
+        mesh = Mesh2D(4, 4)
+        nodes = xy_route_nodes(mesh, 0, 5)  # (0,0) -> (1,1)
+        assert nodes == [0, 1, 5]  # x first, then y
+
+    def test_route_links_are_adjacent(self):
+        mesh = Mesh2D(6, 6)
+        for a, b in xy_route_links(mesh, 2, 33):
+            assert mesh.distance(a, b) == 1
+
+    def test_deterministic(self):
+        mesh = Mesh2D(5, 5)
+        assert xy_route_nodes(mesh, 3, 21) == xy_route_nodes(mesh, 3, 21)
+
+
+class TestTrafficMatrix:
+    def test_record_returns_hops(self):
+        traffic = TrafficMatrix(Mesh2D(4, 4))
+        assert traffic.record(0, 3) == 3
+
+    def test_local_message_no_traffic(self):
+        traffic = TrafficMatrix(Mesh2D(4, 4))
+        assert traffic.record(2, 2) == 0
+        assert traffic.total_flit_hops == 0
+
+    def test_flits_accumulate_per_link(self):
+        traffic = TrafficMatrix(Mesh2D(4, 4))
+        traffic.record(0, 1)
+        traffic.record(0, 2)  # shares link 0->1
+        assert traffic.flits_on(0, 1) == 2
+
+    def test_direction_matters(self):
+        traffic = TrafficMatrix(Mesh2D(4, 4))
+        traffic.record(0, 1)
+        assert traffic.flits_on(1, 0) == 0
+
+    def test_totals(self):
+        traffic = TrafficMatrix(Mesh2D(4, 4))
+        traffic.record(0, 3, flits=2)
+        assert traffic.total_messages == 1
+        assert traffic.total_hops == 3
+        assert traffic.total_flit_hops == 6
+
+    def test_max_and_mean_load(self):
+        traffic = TrafficMatrix(Mesh2D(4, 4))
+        traffic.record(0, 2)
+        traffic.record(0, 1)
+        assert traffic.max_link_load() == 2
+        assert traffic.mean_link_load() == pytest.approx(1.5)
+
+    def test_merge(self):
+        mesh = Mesh2D(4, 4)
+        a, b = TrafficMatrix(mesh), TrafficMatrix(mesh)
+        a.record(0, 1)
+        b.record(0, 1)
+        a.merge(b)
+        assert a.flits_on(0, 1) == 2
+        assert a.total_messages == 2
+
+    def test_reset(self):
+        traffic = TrafficMatrix(Mesh2D(4, 4))
+        traffic.record(0, 3)
+        traffic.reset()
+        assert traffic.total_hops == 0
+        assert traffic.links() == []
+
+
+class TestNetworkModel:
+    def test_local_send_is_free(self):
+        net = NetworkModel(Mesh2D(4, 4))
+        assert net.send(3, 3) == 0.0
+        assert net.message_count() == 0
+
+    def test_latency_scales_with_distance(self):
+        net = NetworkModel(Mesh2D(6, 6))
+        near = net.send(0, 1)
+        net.reset()
+        far = net.send(0, 35)
+        assert far > near
+
+    def test_congestion_increases_latency(self):
+        net = NetworkModel(Mesh2D(4, 4), NetworkParams(congestion_reference=1.0))
+        first = net.send(0, 3)
+        later = net.send(0, 3)
+        assert later > first
+
+    def test_quiet_network_factor_is_one(self):
+        net = NetworkModel(Mesh2D(4, 4))
+        assert net.congestion_factor(0, 3) == pytest.approx(1.0)
+
+    def test_average_and_max(self):
+        net = NetworkModel(Mesh2D(6, 6))
+        net.send(0, 1)
+        net.send(0, 35)
+        assert net.max_latency() >= net.average_latency() > 0
+
+    def test_reset(self):
+        net = NetworkModel(Mesh2D(4, 4))
+        net.send(0, 3)
+        net.reset()
+        assert net.average_latency() == 0.0
+        assert net.traffic.total_hops == 0

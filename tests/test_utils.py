@@ -1,0 +1,120 @@
+"""Unit tests for repro.utils: union-find, RNG derivation, statistics."""
+
+import math
+
+import pytest
+
+from repro.utils.rng import derive_rng, derive_seed, make_rng
+from repro.utils.stats import Summary, geomean, mean, ratio_reduction, summarize
+from repro.utils.union_find import UnionFind
+
+
+class TestUnionFind:
+    def test_singletons_are_disconnected(self):
+        uf = UnionFind(["a", "b"])
+        assert not uf.connected("a", "b")
+        assert uf.set_count == 2
+
+    def test_union_connects(self):
+        uf = UnionFind()
+        assert uf.union(1, 2) is True
+        assert uf.connected(1, 2)
+
+    def test_union_twice_returns_false(self):
+        uf = UnionFind()
+        uf.union(1, 2)
+        assert uf.union(1, 2) is False
+        assert uf.union(2, 1) is False
+
+    def test_transitive_connection(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        uf.union("b", "c")
+        assert uf.connected("a", "c")
+
+    def test_find_is_canonical(self):
+        uf = UnionFind()
+        uf.union(1, 2)
+        uf.union(3, 4)
+        uf.union(2, 3)
+        roots = {uf.find(i) for i in (1, 2, 3, 4)}
+        assert len(roots) == 1
+
+    def test_set_count_tracks_merges(self):
+        uf = UnionFind(range(5))
+        uf.union(0, 1)
+        uf.union(2, 3)
+        assert uf.set_count == 3
+
+    def test_lazy_add_on_find(self):
+        uf = UnionFind()
+        assert uf.find("new") == "new"
+        assert "new" in uf
+
+    def test_len_and_iter(self):
+        uf = UnionFind([1, 2, 3])
+        assert len(uf) == 3
+        assert sorted(uf) == [1, 2, 3]
+
+    def test_disjoint_groups_stay_disjoint(self):
+        uf = UnionFind()
+        for i in range(0, 10, 2):
+            uf.union(i, i + 1)
+        assert uf.connected(4, 5)
+        assert not uf.connected(1, 2)
+
+
+class TestRng:
+    def test_make_rng_deterministic(self):
+        a = make_rng(42).integers(0, 1000, 10)
+        b = make_rng(42).integers(0, 1000, 10)
+        assert (a == b).all()
+
+    def test_derive_seed_stable(self):
+        assert derive_seed(1, "x") == derive_seed(1, "x")
+
+    def test_derive_seed_tag_sensitivity(self):
+        assert derive_seed(1, "x") != derive_seed(1, "y")
+
+    def test_derive_seed_seed_sensitivity(self):
+        assert derive_seed(1, "x") != derive_seed(2, "x")
+
+    def test_derive_rng_independent_streams(self):
+        a = derive_rng(7, "one").integers(0, 10**9)
+        b = derive_rng(7, "two").integers(0, 10**9)
+        assert a != b
+
+
+class TestStats:
+    def test_mean_empty(self):
+        assert mean([]) == 0.0
+
+    def test_mean_values(self):
+        assert mean([1, 2, 3]) == pytest.approx(2.0)
+
+    def test_geomean_empty(self):
+        assert geomean([]) == 0.0
+
+    def test_geomean_values(self):
+        assert geomean([1, 100]) == pytest.approx(10.0)
+
+    def test_geomean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    def test_summarize_empty(self):
+        assert summarize([]) == Summary(0, 0.0, 0.0, 0.0, 0.0)
+
+    def test_summarize_values(self):
+        s = summarize([2.0, 4.0])
+        assert s.count == 2
+        assert s.mean == pytest.approx(3.0)
+        assert s.minimum == 2.0
+        assert s.maximum == 4.0
+        assert s.stdev == pytest.approx(1.0)
+
+    def test_ratio_reduction(self):
+        assert ratio_reduction(100, 65) == pytest.approx(0.35)
+
+    def test_ratio_reduction_zero_baseline(self):
+        assert ratio_reduction(0, 10) == 0.0
