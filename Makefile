@@ -1,0 +1,24 @@
+PYTHON ?= python
+PYTHONPATH := src
+export PYTHONPATH
+
+JOBS ?= 1
+BENCH_OUT ?= BENCH_compile.json
+
+.PHONY: test bench bench-smoke quick
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Time compile (partition/window-search) + simulate per app -> BENCH_compile.json
+bench:
+	$(PYTHON) -m repro.benchmarks.perf --jobs $(JOBS) --out $(BENCH_OUT)
+
+# Sub-second harness check on the built-in tiny app (what tier 1 exercises).
+# Writes to a scratch file so it never clobbers a real $(BENCH_OUT).
+bench-smoke:
+	$(PYTHON) -m repro.benchmarks.perf --tiny --out BENCH_smoke.json
+
+# 4-app experiment subset; JOBS>1 prewarms caches across processes
+quick:
+	$(PYTHON) -m repro.experiments.runner --quick --jobs $(JOBS)

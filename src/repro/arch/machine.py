@@ -17,6 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+import numpy as np
+
 from repro.arch.cluster_modes import ClusterMode
 from repro.arch.memory_modes import McdramModel, MemoryMode
 from repro.cache.sram import CacheConfig
@@ -88,6 +90,21 @@ class Machine:
             line_size=config.line_size,
         )
         self._access_profile: Dict[str, float] = {}
+        # -- location-map caches -------------------------------------------
+        # Per-array home-node and MC-node maps (index order, plain int
+        # lists for fast scalar lookup plus NumPy twins for vector math).
+        # Home maps depend only on the immutable layout + cluster mode; MC
+        # maps also depend on the MCDRAM flat placement and are invalidated
+        # whenever ``mcdram.placement_epoch`` moves (record_profile or a
+        # direct place_flat call).
+        self._home_lists: Dict[str, List[int]] = {}
+        self._home_arrays: Dict[str, np.ndarray] = {}
+        self._mc_lists: Dict[str, List[int]] = {}
+        self._mc_epoch: int = self.mcdram.placement_epoch
+        self._quad_by_node: Optional[np.ndarray] = None
+        self._quad_remap: Optional[np.ndarray] = None
+        self._nearest_edc: Optional[np.ndarray] = None
+        self._corner_by_quadrant: Optional[np.ndarray] = None
 
     # -- array declaration & profile ---------------------------------------
 
@@ -130,12 +147,31 @@ class Machine:
         distribution's owner of the element.  In the other modes the home is
         the global SNUCA bank of the physical address.
         """
+        if owner_hint is not None and self.config.cluster_mode is ClusterMode.SNC4:
+            return self._home_node_slow(name, index, owner_hint)
+        homes = self._home_lists.get(name)
+        if homes is None:
+            homes = self._build_home_map(name)
+        if 0 <= index < len(homes):
+            return homes[index]
+        return self._home_node_slow(name, index, owner_hint)
+
+    def _home_node_slow(
+        self, name: str, index: int, owner_hint: Optional[int] = None
+    ) -> int:
+        """Uncached home-node resolution (hinted SNC-4 and error paths)."""
         bank = self.layout.l2_bank_of(name, index)
         node = self.node_of_bank(bank)
         if self.config.cluster_mode is ClusterMode.SNC4:
             owner = owner_hint if owner_hint is not None else self.default_owner(name, index)
             node = self._remap_into_quadrant(node, self.mesh.quadrant_of(owner))
         return node
+
+    def home_node_map(self, name: str) -> np.ndarray:
+        """Vectorized no-hint home node of every element of ``name``."""
+        if name not in self._home_arrays:
+            self._build_home_map(name)
+        return self._home_arrays[name]
 
     def mc_node(self, name: str, index: int, requester: Optional[int] = None) -> int:
         """Controller node that serves an L2 miss on ``name[index]``.
@@ -145,7 +181,27 @@ class Machine:
         all-to-all hashes over all 4 corners, quadrant/SNC-4 use the corner
         of the home bank's quadrant.
         """
-        home = self.home_node(name, index, owner_hint=requester)
+        if requester is not None and self.config.cluster_mode is ClusterMode.SNC4:
+            return self._mc_node_slow(name, index, requester)
+        if self._mc_epoch != self.mcdram.placement_epoch:
+            self._mc_lists.clear()
+            self._mc_epoch = self.mcdram.placement_epoch
+        mcs = self._mc_lists.get(name)
+        if mcs is None:
+            mcs = self._build_mc_map(name)
+        if 0 <= index < len(mcs):
+            return mcs[index]
+        return self._mc_node_slow(name, index, requester)
+
+    def _mc_node_slow(
+        self, name: str, index: int, requester: Optional[int] = None
+    ) -> int:
+        """Uncached MC-node resolution (hinted SNC-4 and error paths)."""
+        home = (
+            self._home_node_slow(name, index, requester)
+            if requester is not None and self.config.cluster_mode is ClusterMode.SNC4
+            else self.home_node(name, index)
+        )
         if self.mcdram.in_flat_mcdram(name):
             return min(self.edc_nodes, key=lambda e: (self.distance(home, e), e))
         if self.config.cluster_mode is ClusterMode.ALL_TO_ALL:
@@ -153,6 +209,77 @@ class Machine:
             return self.mc_nodes[channel % len(self.mc_nodes)]
         quadrant = self.mesh.quadrant_of(home)
         return self._corner_of_quadrant(quadrant)
+
+    # -- map construction ------------------------------------------------------
+
+    def _build_home_map(self, name: str) -> List[int]:
+        banks = self.layout.bank_map(name)
+        bank_to_node = np.asarray(self.bank_to_node, dtype=np.int64)
+        nodes = bank_to_node[banks % len(self.bank_to_node)]
+        if self.config.cluster_mode is ClusterMode.SNC4:
+            length = self.layout.spec(name).length
+            owners = np.minimum(
+                np.arange(length, dtype=np.int64) * self.node_count // max(length, 1),
+                self.node_count - 1,
+            )
+            quads = self._quad_by_node_table()[owners]
+            nodes = self._quad_remap_table()[nodes, quads]
+        self._home_arrays[name] = nodes
+        homes = nodes.tolist()
+        self._home_lists[name] = homes
+        return homes
+
+    def _build_mc_map(self, name: str) -> List[int]:
+        homes = self.home_node_map(name)
+        if self.mcdram.in_flat_mcdram(name):
+            mcs = self._nearest_edc_table()[homes]
+        elif self.config.cluster_mode is ClusterMode.ALL_TO_ALL:
+            channels = self.layout.channel_map(name)
+            mc_nodes = np.asarray(self.mc_nodes, dtype=np.int64)
+            mcs = mc_nodes[channels % len(self.mc_nodes)]
+        else:
+            quads = self._quad_by_node_table()[homes]
+            mcs = self._corner_by_quadrant_table()[quads]
+        result = mcs.tolist()
+        self._mc_lists[name] = result
+        return result
+
+    def _quad_by_node_table(self) -> np.ndarray:
+        if self._quad_by_node is None:
+            self._quad_by_node = np.asarray(
+                [self.mesh.quadrant_of(n) for n in range(self.node_count)],
+                dtype=np.int64,
+            )
+        return self._quad_by_node
+
+    def _quad_remap_table(self) -> np.ndarray:
+        if self._quad_remap is None:
+            self._quad_remap = np.asarray(
+                [
+                    [self._remap_into_quadrant(node, q) for q in range(4)]
+                    for node in range(self.node_count)
+                ],
+                dtype=np.int64,
+            )
+        return self._quad_remap
+
+    def _nearest_edc_table(self) -> np.ndarray:
+        if self._nearest_edc is None:
+            self._nearest_edc = np.asarray(
+                [
+                    min(self.edc_nodes, key=lambda e: (self.distance(h, e), e))
+                    for h in range(self.node_count)
+                ],
+                dtype=np.int64,
+            )
+        return self._nearest_edc
+
+    def _corner_by_quadrant_table(self) -> np.ndarray:
+        if self._corner_by_quadrant is None:
+            self._corner_by_quadrant = np.asarray(
+                [self._corner_of_quadrant(q) for q in range(4)], dtype=np.int64
+            )
+        return self._corner_by_quadrant
 
     def memory_access_cycles(self, name: str, index: int) -> float:
         """DRAM-side latency of a miss on ``name[index]`` (mode dependent)."""

@@ -50,6 +50,10 @@ class McdramModel:
     line_size: int = 64
     _flat_arrays: Set[str] = field(default_factory=set)
     _tags: Dict[int, int] = field(default_factory=dict)
+    #: Bumped whenever the flat-MCDRAM placement changes; consumers that
+    #: cache anything derived from :meth:`in_flat_mcdram` (the machine's
+    #: MC-node maps) compare epochs to invalidate.
+    placement_epoch: int = 0
 
     @property
     def flat_capacity(self) -> int:
@@ -73,6 +77,7 @@ class McdramModel:
         to its decision.  Returns (and remembers) the chosen array names.
         """
         self._flat_arrays = set()
+        self.placement_epoch += 1
         budget = self.flat_capacity
         ranked = sorted(array_bytes, key=lambda a: (-hotness.get(a, 0.0), a))
         for name in ranked:

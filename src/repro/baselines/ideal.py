@@ -38,6 +38,12 @@ class OracleL2Predictor:
     matches what the simulator will observe for the same access stream.
     """
 
+    #: ``predict`` runs the access against the private L2 model, so every
+    #: call advances cache state — the answer depends on how many times the
+    #: compiler asked before.  Memoization layers that would skip repeat
+    #: location queries (the window scheduler's split cache) must stay off.
+    pure_predict = False
+
     def __init__(self, machine: Machine):
         self.machine = machine
         self._l2 = CacheSystem(

@@ -1,0 +1,1 @@
+"""Timing harnesses for the compile (partition) and simulate pipelines."""

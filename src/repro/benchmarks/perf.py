@@ -1,0 +1,198 @@
+"""Compile/simulate timing harness.
+
+``python -m repro.benchmarks.perf [--apps a,b | --tiny] [--out FILE]``
+times each pipeline phase per application — workload build, NDP
+partitioning (the compile step, including the window-size search),
+default-placement simulation, and optimized simulation — and writes the
+results to ``BENCH_compile.json``.
+
+The JSON schema (version 1):
+
+    {
+      "version": 1,
+      "scale": 1, "seed": 0, "jobs": 1,
+      "apps": [
+        {"app": "barnes",
+         "phases": {"build": 0.01, "partition": 3.2,
+                    "simulate_default": 1.1, "simulate_optimized": 1.0},
+         "total_seconds": 5.31}
+      ],
+      "total_seconds": 5.31
+    }
+
+``--tiny`` benchmarks a built-in two-statement synthetic app on the
+small 4x4 machine instead of paper workloads; it finishes in well under
+a second, so the smoke test in ``tests/test_perf_harness.py`` (and
+``make bench-smoke``) can validate the harness inside tier 1.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.arch.knl import small_machine
+from repro.arch.machine import Machine
+from repro.baselines.default_placement import DefaultPlacement
+from repro.core.partitioner import NdpPartitioner, PartitionConfig
+from repro.core.window import WindowConfig
+from repro.ir.loop import Loop, LoopNest
+from repro.ir.parser import parse_statement
+from repro.ir.program import Program
+from repro.sim.engine import SimConfig, Simulator
+
+SCHEMA_VERSION = 1
+PHASES = ("build", "partition", "simulate_default", "simulate_optimized")
+
+
+def tiny_app() -> Program:
+    """Built-in synthetic app: two statements sharing C(i) (paper Fig 11)."""
+    p = Program("tiny")
+    for name in ("A", "B", "C", "D", "E", "X", "Y"):
+        p.declare(name, 512)
+    p.add_nest(
+        LoopNest.of(
+            [Loop("i", 0, 32)],
+            [
+                parse_statement("A(i) = B(i) + C(i) + D(i) + E(i)"),
+                parse_statement("X(i) = Y(i) + C(i)"),
+            ],
+            "main",
+        )
+    )
+    return p
+
+
+def _timed(fn: Callable):
+    started = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - started
+
+
+def bench_app(
+    app: str,
+    scale: int = 1,
+    seed: int = 0,
+    jobs: int = 1,
+    machine_factory: Optional[Callable[[], Machine]] = None,
+    program_factory: Optional[Callable[[], Program]] = None,
+) -> Dict:
+    """Time each pipeline phase for one app; returns a schema `apps` entry."""
+    if machine_factory is None:
+        from repro.experiments.common import paper_machine
+
+        machine_factory = paper_machine
+    if program_factory is None:
+        from repro.workloads import build_workload
+
+        program_factory = lambda: build_workload(app, scale, seed)
+
+    phases: Dict[str, float] = {}
+
+    program, phases["build"] = _timed(program_factory)
+
+    compile_machine = machine_factory()
+    config = PartitionConfig(window=WindowConfig(jobs=jobs))
+    partition, phases["partition"] = _timed(
+        lambda: NdpPartitioner(compile_machine, config).partition(program)
+    )
+
+    default_machine = machine_factory()
+    placement, _ = _timed(lambda: DefaultPlacement(default_machine).place(program))
+    _, phases["simulate_default"] = _timed(
+        lambda: Simulator(default_machine, SimConfig()).run(placement.units)
+    )
+
+    compile_machine.mcdram.reset()
+    _, phases["simulate_optimized"] = _timed(
+        lambda: Simulator(compile_machine, SimConfig()).run(partition.units())
+    )
+
+    return {
+        "app": app,
+        "phases": {name: round(phases[name], 6) for name in PHASES},
+        "total_seconds": round(sum(phases.values()), 6),
+    }
+
+
+def run_bench(
+    apps: List[str],
+    scale: int = 1,
+    seed: int = 0,
+    jobs: int = 1,
+    tiny: bool = False,
+) -> Dict:
+    """Benchmark every app and assemble the BENCH_compile.json payload."""
+    entries = []
+    for app in apps:
+        if tiny:
+            entry = bench_app(
+                app,
+                scale,
+                seed,
+                jobs,
+                machine_factory=small_machine,
+                program_factory=tiny_app,
+            )
+        else:
+            entry = bench_app(app, scale, seed, jobs)
+        entries.append(entry)
+    return {
+        "version": SCHEMA_VERSION,
+        "scale": scale,
+        "seed": seed,
+        "jobs": jobs,
+        "apps": entries,
+        "total_seconds": round(sum(e["total_seconds"] for e in entries), 6),
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--apps", default="", help="comma-separated app subset")
+    parser.add_argument(
+        "--tiny",
+        action="store_true",
+        help="benchmark the built-in tiny synthetic app on the small machine",
+    )
+    parser.add_argument("--scale", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="WindowConfig.jobs for the partition phase (1 = serial)",
+    )
+    parser.add_argument("--out", default="BENCH_compile.json")
+    args = parser.parse_args(argv)
+
+    if args.tiny and args.apps:
+        parser.error("--tiny and --apps are mutually exclusive")
+    if args.tiny:
+        apps = ["tiny"]
+    elif args.apps:
+        apps = [a.strip() for a in args.apps.split(",") if a.strip()]
+    else:
+        from repro.experiments.common import DEFAULT_APPS
+
+        apps = list(DEFAULT_APPS)
+
+    payload = run_bench(apps, args.scale, args.seed, args.jobs, tiny=args.tiny)
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    for entry in payload["apps"]:
+        parts = "  ".join(
+            f"{name}={entry['phases'][name]:.3f}s" for name in PHASES
+        )
+        print(f"{entry['app']:>12}  {parts}  total={entry['total_seconds']:.3f}s")
+    print(f"wrote {args.out} ({payload['total_seconds']:.3f}s total)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

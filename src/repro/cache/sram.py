@@ -46,34 +46,42 @@ class SetAssocCache:
 
     def __init__(self, config: CacheConfig):
         self.config = config
+        # Geometry cached as plain ints: ``set_count``/``associativity`` sit
+        # on the per-access hot path and the dataclass properties re-divide
+        # on every call.
+        self._set_count = config.set_count
+        self._assoc = config.associativity
         # One OrderedDict per set: keys are block numbers, order is recency
         # (last item = most recently used).
         self._sets: List["OrderedDict[int, None]"] = [
-            OrderedDict() for _ in range(config.set_count)
+            OrderedDict() for _ in range(self._set_count)
         ]
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     def _set_of(self, block: int) -> "OrderedDict[int, None]":
-        return self._sets[block % self.config.set_count]
+        return self._sets[block % self._set_count]
 
     def contains(self, block: int) -> bool:
         """Non-mutating lookup (does not touch LRU state or counters)."""
-        return block in self._set_of(block)
+        return block in self._sets[block % self._set_count]
 
     def access(self, block: int) -> bool:
         """Access ``block``: returns True on hit.  Misses fill the block.
 
         Fills evict the LRU way when the set is full.
         """
-        cache_set = self._set_of(block)
+        cache_set = self._sets[block % self._set_count]
         if block in cache_set:
             cache_set.move_to_end(block)
             self.hits += 1
             return True
         self.misses += 1
-        self._fill(cache_set, block)
+        if len(cache_set) >= self._assoc:
+            cache_set.popitem(last=False)
+            self.evictions += 1
+        cache_set[block] = None
         return False
 
     def peek_then_access(self, block: int) -> bool:
@@ -97,7 +105,7 @@ class SetAssocCache:
         return False
 
     def _fill(self, cache_set: "OrderedDict[int, None]", block: int) -> None:
-        if len(cache_set) >= self.config.associativity:
+        if len(cache_set) >= self._assoc:
             cache_set.popitem(last=False)
             self.evictions += 1
         cache_set[block] = None

@@ -26,7 +26,7 @@ from repro.cache.predictor import HitMissPredictor
 from repro.ir.statement import Access
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Location:
     """Where a datum can be found right now.
 
@@ -62,6 +62,7 @@ class VariableToNodeMap:
         self.per_node_capacity = per_node_capacity
         self._blocks_at_node: Dict[int, "OrderedDict[int, None]"] = {}
         self._nodes_of_block: Dict[int, List[int]] = {}
+        self._resident_count = 0
 
     def record(self, block: int, node: int) -> None:
         """Model ``block`` being fetched into ``node``'s L1."""
@@ -71,10 +72,12 @@ class VariableToNodeMap:
             return
         if len(resident) >= self.per_node_capacity:
             evicted, _ = resident.popitem(last=False)
+            self._resident_count -= 1
             holders = self._nodes_of_block.get(evicted)
             if holders and node in holders:
                 holders.remove(node)
         resident[block] = None
+        self._resident_count += 1
         self._nodes_of_block.setdefault(block, []).append(node)
 
     def nodes_with(self, block: int) -> Tuple[int, ...]:
@@ -84,9 +87,10 @@ class VariableToNodeMap:
     def clear(self) -> None:
         self._blocks_at_node.clear()
         self._nodes_of_block.clear()
+        self._resident_count = 0
 
     def __len__(self) -> int:
-        return sum(len(blocks) for blocks in self._blocks_at_node.values())
+        return self._resident_count
 
 
 class DataLocator:

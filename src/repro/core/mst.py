@@ -18,7 +18,7 @@ import numpy as np
 from repro.utils.union_find import UnionFind
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MstEdge:
     """An accepted MST edge between two mesh nodes."""
 

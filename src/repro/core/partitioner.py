@@ -262,17 +262,34 @@ class NdpPartitioner:
         for nest in program.nests:
             if nest.name in nest_schedules:
                 raise SchedulingError(f"duplicate nest name {nest.name!r}")
+            # One split cache per nest, shared by the gate's candidate-plan
+            # passes, the window-size search, and the final scheduling: a
+            # statement's empty-map split depends only on its operands, so
+            # the MST work is done once per instance instead of once per
+            # pass (see WindowScheduler._split_of for the exact conditions).
+            split_cache: Dict = {}
+            reuse = None
             if self.config.split_plan_override is not None:
                 keys = [(nest.name, b) for b in range(nest.body_size)]
                 plan = {k: bool(split_plan.get(k, False)) for k in keys}
                 variant = "override"
             else:
-                plan, variant = self._choose_nest_plan(
-                    program, nest, locator, fallback_nodes, split_plan, profiles
+                plan, variant, reuse = self._choose_nest_plan(
+                    program, nest, locator, fallback_nodes, split_plan, profiles,
+                    split_cache, uid_counter,
                 )
             chosen_plan.update(plan)
             variant_by_nest[nest.name] = variant
-            if self.config.adaptive_window and any(plan.values()):
+            if reuse is not None:
+                # The winning gate measure already scheduled the whole nest
+                # with the shared uid counter under conditions that make it
+                # bit-equal to the search below (see _choose_nest_plan);
+                # redoing the search/schedule would only repeat the work.
+                schedule, size, by_size = reuse
+                nest_schedules[nest.name] = schedule
+                window_sizes[nest.name] = size
+                movement_by_size[nest.name] = by_size
+            elif self.config.adaptive_window and any(plan.values()):
                 outcome = WindowSizeSearch(
                     self.machine,
                     locator,
@@ -280,6 +297,7 @@ class NdpPartitioner:
                     uid_counter=uid_counter,
                     fallback_nodes=fallback_nodes,
                     split_plan=plan,
+                    split_cache=split_cache,
                 ).search(program, nest)
                 nest_schedules[nest.name] = outcome.best_schedule
                 window_sizes[nest.name] = outcome.best_size
@@ -299,6 +317,7 @@ class NdpPartitioner:
                     uid_counter=uid_counter,
                     fallback_nodes=fallback_nodes,
                     split_plan=plan,
+                    split_cache=split_cache,
                 )
                 schedule = scheduler.schedule_nest(program, nest, size)
                 nest_schedules[nest.name] = schedule
@@ -322,6 +341,8 @@ class NdpPartitioner:
         fallback_nodes: Dict[int, int],
         profile_plan: Dict,
         profiles: Dict,
+        split_cache: Dict,
+        uid_counter,
     ):
         """Pick the nest's split plan empirically (the gate).
 
@@ -343,33 +364,57 @@ class NdpPartitioner:
             for key in keys
         }
         if self.config.window.always_split:
-            return all_split, "split"
+            return all_split, "split", None
         candidates = []
         if any(from_profile.values()):
             candidates.append(("profile", from_profile))
         if any(all_split.values()) and all_split != from_profile:
             candidates.append(("split", all_split))
         if not candidates or self.config.gate_sample_instances < 0:
-            return from_profile, "profile" if any(from_profile.values()) else "star"
+            variant = "profile" if any(from_profile.values()) else "star"
+            return from_profile, variant, None
 
-        from repro.sim.engine import SimConfig, Simulator
-
-        star_cycles, star_movement = self._gate_measure(
-            program, nest, locator, fallback_nodes, star
+        star_cycles, star_movement, star_reuse = self._gate_measure(
+            program, nest, locator, fallback_nodes, star, split_cache, uid_counter
         )
         best_plan = star
         best_variant = "star"
         best_cycles = star_cycles
+        best_reuse = star_reuse
         tolerance = self.config.gate_movement_tolerance
         for variant, plan in candidates:
-            cycles, movement = self._gate_measure(
-                program, nest, locator, fallback_nodes, plan
+            cycles, movement, reuse = self._gate_measure(
+                program, nest, locator, fallback_nodes, plan, split_cache,
+                uid_counter,
             )
             if cycles < best_cycles and movement <= tolerance * max(star_movement, 1):
                 best_cycles = cycles
                 best_plan = plan
                 best_variant = variant
-        return best_plan, best_variant
+                best_reuse = reuse
+        # The winning measure's full-nest schedule can stand in for the
+        # final scheduling pass only when that pass would redo bit-equal
+        # work: the gate covered the whole nest, the final pass is the
+        # adaptive one, the size search would see the same sample, and the
+        # predictor is pure (a stateful oracle's answers depend on the
+        # query stream, so skipped queries would change later answers).
+        if best_reuse is not None:
+            count = nest.instance_count
+            sample = self.config.gate_sample_instances
+            limit = sample if sample > 0 else count
+            gate_eff = min(count, min(limit, 768))
+            cfg_sample = self.config.window.search_sample_instances
+            final_eff = min(count, cfg_sample) if cfg_sample else count
+            pure = getattr(self.predictor, "pure_predict", True)
+            reusable = (
+                self.config.adaptive_window
+                and pure
+                and limit >= count
+                and (not any(best_plan.values()) or gate_eff == final_eff)
+            )
+            if not reusable:
+                best_reuse = None
+        return best_plan, best_variant, best_reuse
 
     def _gate_measure(
         self,
@@ -378,18 +423,28 @@ class NdpPartitioner:
         locator: DataLocator,
         fallback_nodes: Dict[int, int],
         plan: Dict,
+        split_cache: Dict,
+        uid_counter,
     ):
-        """(cycles, movement) of one candidate plan over the nest sample."""
+        """(cycles, movement, reuse) of one candidate plan over the sample.
+
+        ``reuse`` is ``(NestSchedule, size, movement_by_size)`` when the
+        measure scheduled the whole nest (gate sample covers it), else
+        ``None``; the caller decides whether the final pass may adopt it.
+        """
         from repro.sim.engine import SimConfig, Simulator
 
         scheduler = WindowScheduler(
             self.machine,
             locator,
             self.config.window,
+            uid_counter=uid_counter,
             fallback_nodes=fallback_nodes,
             split_plan=plan,
+            split_cache=split_cache,
         )
         size = 1
+        by_size = None
         sample = self.config.gate_sample_instances
         limit = sample if sample > 0 else nest.instance_count
         if any(plan.values()):
@@ -399,25 +454,41 @@ class NdpPartitioner:
                 self.config.window,
                 fallback_nodes=fallback_nodes,
                 split_plan=plan,
+                split_cache=split_cache,
             ).search_sample(program, nest, min(limit, 768))
             size = outcome.best_size
-        units = []
-        buffer = []
-        seen = 0
-        for instance in program.nest_instances(nest, program.seq_base_of(nest)):
-            buffer.append(instance)
-            seen += 1
-            if len(buffer) == size:
+            by_size = outcome.movement_by_size
+        if limit >= nest.instance_count:
+            # Whole-nest measure: identical to schedule_nest's windowing.
+            schedule = scheduler.schedule_nest(program, nest, size)
+            units = [
+                sub
+                for window in schedule.windows
+                for statement_schedule in window.schedules
+                for sub in statement_schedule.subcomputations
+            ]
+            if by_size is None:
+                by_size = {size: schedule.movement}
+            reuse = (schedule, size, by_size)
+        else:
+            units = []
+            buffer = []
+            seen = 0
+            for instance in program.nest_instances(nest, program.seq_base_of(nest)):
+                buffer.append(instance)
+                seen += 1
+                if len(buffer) == size:
+                    window = scheduler.schedule_window(buffer)
+                    for statement_schedule in window.schedules:
+                        units.extend(statement_schedule.subcomputations)
+                    buffer = []
+                if seen >= limit:
+                    break
+            if buffer:
                 window = scheduler.schedule_window(buffer)
                 for statement_schedule in window.schedules:
                     units.extend(statement_schedule.subcomputations)
-                buffer = []
-            if seen >= limit:
-                break
-        if buffer:
-            window = scheduler.schedule_window(buffer)
-            for statement_schedule in window.schedules:
-                units.extend(statement_schedule.subcomputations)
+            reuse = None
         self.machine.mcdram.reset()
         metrics = Simulator(self.machine, SimConfig()).run(units)
-        return metrics.total_cycles, metrics.data_movement
+        return metrics.total_cycles, metrics.data_movement, reuse

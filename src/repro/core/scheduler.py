@@ -164,6 +164,7 @@ def star_cost(
     that *increases* movement would defeat the metric the paper optimizes.
     """
     node = exec_node if exec_node is not None else locator.store_node(instance.write)
+    distance = locator.machine.mesh.distance_fn()
     cost = 0
     seen_blocks = set()
     for access in instance.reads:
@@ -174,9 +175,9 @@ def star_cost(
         location = locator.locate(access, var2node)
         if node in location.l1_copies:
             continue
-        cost += locator.machine.distance(location.primary, node)
+        cost += distance(location.primary, node)
     # The result must reach its home bank from the execution node.
-    cost += locator.machine.distance(node, locator.store_node(instance.write))
+    cost += distance(node, locator.store_node(instance.write))
     return cost
 
 
@@ -198,13 +199,14 @@ def schedule_star(
     window's ``var2node`` so later statements can reuse them.
     """
     node = exec_node if exec_node is not None else locator.store_node(instance.write)
+    distance = locator.machine.mesh.distance_fn()
     gathered = []
     for access in instance.reads:
         location = locator.locate(access, hit_model or var2node)
         if node in location.l1_copies:
             gathered.append(GatheredInput(access, node, 0, l1_hit=True))
         else:
-            hops = locator.machine.distance(location.primary, node)
+            hops = distance(location.primary, node)
             gathered.append(
                 GatheredInput(
                     access, location.primary, hops, off_chip=not location.on_chip
@@ -259,7 +261,7 @@ def schedule_statement(
     movement (real L1s do not forget at window boundaries).
     """
     machine = locator.machine
-    distance = machine.distance
+    distance = machine.mesh.distance_fn()
     instance = split.instance
     store_node = split.store_node
 

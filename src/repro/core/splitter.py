@@ -33,7 +33,7 @@ from repro.ir.statement import Access, StatementInstance
 from repro.utils.union_find import UnionFind
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LeafInfo:
     """A resolved leaf operand: which member it is and where its data lives."""
 
@@ -46,7 +46,7 @@ class LeafInfo:
     inverted: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SetRecord:
     """One operand set: its operator class and its member ids."""
 
@@ -57,7 +57,7 @@ class SetRecord:
     depth: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MergeStep:
     """One Kruskal union: combine members ``left``/``right`` of ``set_id``.
 
@@ -72,7 +72,7 @@ class MergeStep:
     edge: MstEdge
 
 
-@dataclass
+@dataclass(slots=True)
 class StatementSplit:
     """The splitter's result for one statement instance."""
 
@@ -127,7 +127,7 @@ def split_statement(
     flatten_products: bool = False,
 ) -> StatementSplit:
     """Split one statement instance into an MST of subcomputation sites."""
-    distance = locator.machine.distance
+    distance = locator.machine.mesh.distance_fn()
     tree = build_operand_tree(instance.statement.rhs, flatten_products)
     store_node = locator.store_node(instance.write)
 
@@ -224,16 +224,24 @@ def split_statement(
             return
         candidate_edges: List[Tuple[int, int, int, MstEdge]] = []
         for i, ma in enumerate(member_ids):
+            nodes_a = component_nodes[ma]
             for mb in member_ids[i + 1:]:
-                best: Optional[MstEdge] = None
-                for na in component_nodes[ma]:
+                best_w = -1
+                best_na = best_nb = 0
+                for na in nodes_a:
                     for nb in component_nodes[mb]:
                         w = distance(na, nb)
-                        if best is None or w < best.weight:
-                            best = MstEdge(na, nb, w)
-                assert best is not None
-                candidate_edges.append((best.weight, ma, mb, best))
-        candidate_edges.sort(key=lambda e: (e[0], e[1], e[2]))
+                        if best_w < 0 or w < best_w:
+                            best_w = w
+                            best_na = na
+                            best_nb = nb
+                assert best_w >= 0
+                candidate_edges.append(
+                    (best_w, ma, mb, MstEdge(best_na, best_nb, best_w))
+                )
+        # (weight, ma, mb) is unique per pair, so the MstEdge in position 3
+        # is never compared: plain tuple sort == the old explicit key.
+        candidate_edges.sort()
         if rng is not None:
             candidate_edges = _shuffle_equal_weights(candidate_edges, rng)
         uf = UnionFind(member_ids)

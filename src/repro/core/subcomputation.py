@@ -16,7 +16,7 @@ from typing import Optional, Tuple
 from repro.ir.statement import Access
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GatheredInput:
     """A raw datum fetched into the subcomputation's node.
 
@@ -32,7 +32,7 @@ class GatheredInput:
     off_chip: bool = False  # predictor said the datum misses L2
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SubResult:
     """A child subcomputation's result arriving over the network."""
 
@@ -41,7 +41,7 @@ class SubResult:
     hops: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Subcomputation:
     """One scheduled subcomputation.
 

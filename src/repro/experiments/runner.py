@@ -1,8 +1,12 @@
 """Run every experiment and emit a combined report.
 
-``python -m repro.experiments.runner [--apps a,b,c] [--scale N] [--quick]``
-prints each table/figure's report in paper order; ``--quick`` restricts to
-a 4-app subset for smoke runs.
+``python -m repro.experiments.runner [--apps a,b,c] [--scale N] [--quick]
+[--jobs N]`` prints each table/figure's report in paper order; ``--quick``
+restricts to a 4-app subset for smoke runs.  ``--jobs N`` fans the heavy
+per-app compile+simulate work (all cluster/memory-mode comparisons, the
+ideal-analysis runs, and the fixed-window sweeps) out over N worker
+processes before the reports are rendered serially, so the output is
+identical to a serial run.
 """
 
 from __future__ import annotations
@@ -67,6 +71,12 @@ def main(argv: List[str] = None) -> int:
     parser.add_argument("--scale", type=int, default=1)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--quick", action="store_true", help="4-app smoke subset")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the per-app prewarm phase (1 = serial)",
+    )
     args = parser.parse_args(argv)
     if args.apps:
         apps = [a.strip() for a in args.apps.split(",") if a.strip()]
@@ -74,6 +84,8 @@ def main(argv: List[str] = None) -> int:
         apps = QUICK_APPS
     else:
         apps = common.DEFAULT_APPS
+    if args.jobs > 1:
+        common.prewarm(apps, scale=args.scale, seed=args.seed, jobs=args.jobs)
     run_all(apps, args.scale, args.seed)
     return 0
 

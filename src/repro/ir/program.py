@@ -63,11 +63,21 @@ class ArrayDecl:
 class Program:
     """A named collection of array declarations and loop nests."""
 
+    #: Instance streams longer than this are not memoized (memory bound for
+    #: pathological nests; every workload in the suite fits comfortably).
+    _INSTANCE_CACHE_LIMIT = 1 << 17
+
     def __init__(self, name: str = "program"):
         self.name = name
         self.arrays: Dict[str, ArrayDecl] = {}
         self.index_data: Dict[str, List[int]] = {}
         self.nests: List[LoopNest] = []
+        # (nest name, seq base) -> fully-resolved instance stream.  The
+        # partitioner walks the same stream many times (profiling, predictor
+        # training, the gate's candidate plans, every window-size trial, the
+        # final schedule); instances are immutable, so resolving subscripts
+        # once and replaying the tuple is observationally identical.
+        self._instance_cache: Dict[Tuple[str, int], Tuple[StatementInstance, ...]] = {}
 
     # -- construction -------------------------------------------------------
 
@@ -90,6 +100,9 @@ class Program:
         if name not in self.arrays:
             raise WorkloadError(f"index array {name!r} is not declared")
         self.index_data[name] = list(values)
+        # Indirect subscripts resolve through index data, so any cached
+        # instance stream may now be stale.
+        self._instance_cache.clear()
 
     def add_nest(self, nest: LoopNest) -> None:
         self._check_declared(nest)
@@ -142,7 +155,23 @@ class Program:
     # -- instance streams ------------------------------------------------------
 
     def nest_instances(self, nest: LoopNest, seq_base: int = 0) -> Iterator[StatementInstance]:
-        """All statement instances of ``nest`` in execution order."""
+        """All statement instances of ``nest`` in execution order.
+
+        Fully-consumed streams are memoized per (nest, seq base) — replays
+        iterate the cached tuple instead of re-resolving every subscript.
+        The cache is cleared whenever :meth:`set_index_data` changes what
+        indirect references resolve to.
+        """
+        key = (nest.name, seq_base)
+        cached = self._instance_cache.get(key)
+        if cached is not None:
+            return iter(cached)
+        return self._generate_instances(nest, seq_base, key)
+
+    def _generate_instances(
+        self, nest: LoopNest, seq_base: int, key: Tuple[str, int]
+    ) -> Iterator[StatementInstance]:
+        collected: List[StatementInstance] = []
         seq = seq_base
         for binding in nest.iterations():
             binding_map = dict(binding)
@@ -152,7 +181,7 @@ class Program:
                     self.resolve_ref(ref, binding_map) for ref in statement.input_refs()
                 )
                 write = self.resolve_ref(statement.lhs, binding_map)
-                yield StatementInstance(
+                instance = StatementInstance(
                     statement=statement,
                     binding=binding,
                     seq=seq,
@@ -162,7 +191,13 @@ class Program:
                     iteration=iteration,
                     body_index=body_index,
                 )
+                collected.append(instance)
+                yield instance
                 seq += 1
+        # Only a stream iterated to exhaustion is known-complete (partial
+        # consumers — samples, inspection budgets — abandon the generator).
+        if len(collected) <= self._INSTANCE_CACHE_LIMIT:
+            self._instance_cache[key] = tuple(collected)
 
     def seq_base_of(self, nest: LoopNest) -> int:
         """Global seq of the first instance of ``nest`` in program order."""
@@ -179,6 +214,15 @@ class Program:
         for nest in self.nests:
             yield from self.nest_instances(nest, seq_base)
             seq_base += nest.instance_count
+
+    # -- pickling ----------------------------------------------------------------
+
+    def __getstate__(self):
+        """Drop the memoized instance streams: they are pure derived state,
+        and shipping them to worker processes would dwarf the program itself."""
+        state = self.__dict__.copy()
+        state["_instance_cache"] = {}
+        return state
 
     # -- integration -------------------------------------------------------------
 

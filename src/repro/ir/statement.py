@@ -15,7 +15,7 @@ from typing import Dict, Iterator, Mapping, Optional, Tuple
 from repro.ir.expr import BinOp, Expr, Ref
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Access:
     """A concrete element access: ``array[index]``."""
 
@@ -29,7 +29,7 @@ class Access:
         return f"{self.array}[{self.index}]"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Statement:
     """A static assignment statement ``lhs = rhs``."""
 
@@ -69,7 +69,7 @@ class Statement:
         return f"{self.label}: {text}" if self.label else text
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StatementInstance:
     """One execution of a statement under a concrete loop binding.
 

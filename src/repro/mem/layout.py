@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+import numpy as np
+
 from repro.errors import MappingError
 from repro.mem.address import AddressMapping
 from repro.mem.page_alloc import PageAllocator
@@ -47,6 +49,22 @@ class DataLayout:
         self._arrays: Dict[str, ArraySpec] = {}
         self._bases: Dict[str, int] = {}
         self._cursor = 0  # next free virtual byte, page aligned
+        # -- fast-path caches ---------------------------------------------
+        # Physical addresses are memoized per element (-1 = not yet
+        # translated).  A translation is immutable once made (the page
+        # allocator's page table only grows), so entries never invalidate;
+        # crucially the *first* touch still goes through the allocator in
+        # the caller's order, keeping frame assignment bit-identical to the
+        # uncached behaviour.
+        self._pa_lists: Dict[str, List[int]] = {}
+        # Bank/channel are derived from the *virtual* address: the
+        # color-preserving allocator guarantees bank(PA) == bank(VA) and
+        # channel(PA) == channel(VA), so these maps never touch the
+        # allocator and can be vectorized eagerly per array.
+        self._bank_maps: Dict[str, np.ndarray] = {}
+        self._bank_lists: Dict[str, List[int]] = {}
+        self._channel_maps: Dict[str, np.ndarray] = {}
+        self._channel_lists: Dict[str, List[int]] = {}
 
     # -- declaration ------------------------------------------------------
 
@@ -112,6 +130,17 @@ class DataLayout:
 
     def pa_of(self, name: str, index: int) -> int:
         """Physical address of ``name[index]`` (allocates frame on demand)."""
+        cache = self._pa_lists.get(name)
+        if cache is None:
+            cache = [-1] * self.spec(name).length
+            self._pa_lists[name] = cache
+        if 0 <= index < len(cache):
+            pa = cache[index]
+            if pa < 0:
+                pa = self.allocator.translate(self._bases[name] + index * self._arrays[name].element_size)
+                cache[index] = pa
+            return pa
+        # Out-of-bounds / error path: va_of raises the canonical MappingError.
         return self.allocator.translate(self.va_of(name, index))
 
     def block_of(self, name: str, index: int) -> int:
@@ -120,19 +149,80 @@ class DataLayout:
         Computed on the physical address; elements in the same block exhibit
         the spatial locality the paper exploits (Figure 12's D(i)/D(i+1)).
         """
-        return self.mapping.l2.block_of(self.pa_of(name, index))
+        return self.pa_of(name, index) >> self.mapping.l2.offset_field.width
 
     def l2_bank_of(self, name: str, index: int) -> int:
         """SNUCA home L2 bank of ``name[index]``."""
+        banks = self._bank_lists.get(name)
+        if banks is None:
+            self.bank_map(name)
+            banks = self._bank_lists[name]
+        if 0 <= index < len(banks):
+            return banks[index]
         return self.mapping.l2.bank_of(self.pa_of(name, index))
 
     def channel_of(self, name: str, index: int) -> int:
         """Memory channel (controller) owning ``name[index]``'s page."""
+        channels = self._channel_lists.get(name)
+        if channels is None:
+            self.channel_map(name)
+            channels = self._channel_lists[name]
+        if 0 <= index < len(channels):
+            return channels[index]
         return self.mapping.memory.channel_of(self.pa_of(name, index))
 
     def page_of(self, name: str, index: int) -> int:
         """Physical page number of ``name[index]``."""
-        return self.mapping.memory.page_of(self.pa_of(name, index))
+        return self.pa_of(name, index) >> self.mapping.memory.offset_field.width
+
+    # -- vectorized per-array maps ------------------------------------------
+
+    def _va_vector(self, name: str) -> np.ndarray:
+        spec = self.spec(name)
+        base = self._bases[name]
+        return base + np.arange(spec.length, dtype=np.int64) * spec.element_size
+
+    def bank_map(self, name: str) -> np.ndarray:
+        """SNUCA home L2 bank of every element of ``name`` (index order).
+
+        Derived from virtual addresses: the color-preserving page allocator
+        (Section 4.1) guarantees the bank bits survive VA->PA translation,
+        which is what makes this precomputation sound — verified
+        element-for-element against the physical-address path in the tests.
+        """
+        cached = self._bank_maps.get(name)
+        if cached is not None:
+            return cached
+        l2 = self.mapping.l2
+        va = self._va_vector(name)
+        blocks = va >> np.int64(l2.offset_field.width)
+        if not l2.hash_fold:
+            banks = blocks & np.int64((1 << l2.bank_field.width) - 1)
+        else:
+            width = np.int64(l2.bank_field.width)
+            mask = np.int64((1 << l2.bank_field.width) - 1)
+            banks = np.zeros_like(blocks)
+            remaining = blocks.copy()
+            while np.any(remaining):
+                banks ^= remaining & mask
+                remaining >>= width
+        self._bank_maps[name] = banks
+        self._bank_lists[name] = banks.tolist()
+        return banks
+
+    def channel_map(self, name: str) -> np.ndarray:
+        """Memory channel of every element of ``name`` (index order)."""
+        cached = self._channel_maps.get(name)
+        if cached is not None:
+            return cached
+        memory = self.mapping.memory
+        va = self._va_vector(name)
+        channels = (va >> np.int64(memory.channel_field.low)) & np.int64(
+            (1 << memory.channel_field.width) - 1
+        )
+        self._channel_maps[name] = channels
+        self._channel_lists[name] = channels.tolist()
+        return channels
 
     def same_block(self, a_name: str, a_index: int, b_name: str, b_index: int) -> bool:
         """True when the two elements share a cache block."""

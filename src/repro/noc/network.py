@@ -47,13 +47,12 @@ class NetworkModel:
         Uses the max per-link flit count already recorded along the XY route,
         normalized by ``congestion_reference``.  A quiet network returns 1.0.
         """
-        from repro.noc.routing import xy_route_links
+        from repro.noc.routing import xy_route_links_cached
 
-        links = xy_route_links(self.mesh, src, dst)
+        links = xy_route_links_cached(self.mesh, src, dst)
         if not links:
             return 1.0
-        worst = max(self.traffic.flits_on(a, b) for a, b in links)
-        load = worst / self.params.congestion_reference
+        load = self.traffic.max_flits_on(links) / self.params.congestion_reference
         return 1.0 + self.params.congestion_weight * load
 
     def send(self, src: int, dst: int, flits: int = 1) -> float:

@@ -41,5 +41,30 @@ def xy_route_links(mesh: Mesh2D, src: int, dst: int) -> List[LinkId]:
     The length of the returned list equals the Manhattan distance, so link
     accounting and the paper's data-movement metric agree by construction.
     """
-    nodes = xy_route_nodes(mesh, src, dst)
-    return [(nodes[i], nodes[i + 1]) for i in range(len(nodes) - 1)]
+    return list(xy_route_links_cached(mesh, src, dst))
+
+
+#: Per-mesh route caches stop growing past this many (src, dst) pairs — a
+#: memory bound for very large meshes; real mesh sizes (n^2 pairs) fit.
+_ROUTE_CACHE_LIMIT = 65536
+
+
+def xy_route_links_cached(mesh: Mesh2D, src: int, dst: int) -> Tuple[LinkId, ...]:
+    """Immutable memoized link route — the hot-path variant.
+
+    XY routes are pure functions of the endpoints and a mesh has at most
+    ``node_count**2`` of them, so each is walked once per mesh and the
+    resulting tuple shared by every later message between the same pair
+    (the simulator routes the same endpoints millions of times).
+    """
+    cache = getattr(mesh, "_xy_link_cache", None)
+    if cache is None:
+        cache = {}
+        mesh._xy_link_cache = cache
+    route = cache.get((src, dst))
+    if route is None:
+        nodes = xy_route_nodes(mesh, src, dst)
+        route = tuple((nodes[i], nodes[i + 1]) for i in range(len(nodes) - 1))
+        if len(cache) < _ROUTE_CACHE_LIMIT:
+            cache[(src, dst)] = route
+    return route

@@ -11,12 +11,19 @@ which is the minimum number of mesh links a message must traverse.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Tuple
+from typing import Callable, Iterator, List, Optional, Tuple
+
+import numpy as np
 
 from repro.errors import ConfigurationError
 
+#: Meshes up to this many nodes get a precomputed all-pairs distance table;
+#: larger ones (only reachable through unusual configs) fall back to
+#: computing coordinates on the fly, keeping memory bounded.
+_DISTANCE_TABLE_MAX_NODES = 4096
 
-@dataclass(frozen=True, order=True)
+
+@dataclass(frozen=True, order=True, slots=True)
 class Coord:
     """A node location ``(x, y)`` on the mesh."""
 
@@ -43,10 +50,45 @@ class Mesh2D:
             raise ConfigurationError(f"mesh dimensions must be >= 1, got {cols}x{rows}")
         self.cols = cols
         self.rows = rows
+        self.node_count = cols * rows
+        self._distance_np: Optional[np.ndarray] = None
+        self._distance_rows: Optional[List[List[int]]] = None
+        if self.node_count <= _DISTANCE_TABLE_MAX_NODES:
+            self._build_distance_table()
+
+    def _build_distance_table(self) -> None:
+        ids = np.arange(self.node_count)
+        xs = ids % self.cols
+        ys = ids // self.cols
+        table = np.abs(xs[:, None] - xs[None, :]) + np.abs(ys[:, None] - ys[None, :])
+        self._distance_np = table
+        # Plain nested lists: scalar indexing beats NumPy item access on the
+        # per-call hot path, and the values are genuine ints.
+        self._distance_rows = table.tolist()
 
     @property
-    def node_count(self) -> int:
-        return self.cols * self.rows
+    def distance_table(self) -> np.ndarray:
+        """All-pairs Manhattan distances, ``table[a, b]`` (node-id indexed)."""
+        if self._distance_np is None:
+            self._build_distance_table()
+        return self._distance_np
+
+    def distance_rows(self) -> Optional[List[List[int]]]:
+        """Nested-list all-pairs distances (``rows[a][b]``), or ``None``.
+
+        Hot compiler/simulator loops index this directly — a plain list
+        lookup beats a bounds-checked method call.  ``None`` only for
+        meshes above the table cap; callers keep :meth:`distance` as the
+        fallback there.
+        """
+        return self._distance_rows
+
+    def distance_fn(self) -> Callable[[int, int], int]:
+        """Fastest available ``(a, b) -> hops`` callable for valid node ids."""
+        rows = self._distance_rows
+        if rows is None:
+            return self.distance
+        return lambda a, b: rows[a][b]
 
     def coord_of(self, node_id: int) -> Coord:
         """Coordinate of ``node_id`` (row-major)."""
@@ -64,6 +106,9 @@ class Mesh2D:
 
     def distance(self, a: int, b: int) -> int:
         """Manhattan distance (hop count) between node ids ``a`` and ``b``."""
+        rows = self._distance_rows
+        if rows is not None and 0 <= a < self.node_count and 0 <= b < self.node_count:
+            return rows[a][b]
         return self.coord_of(a).manhattan(self.coord_of(b))
 
     def coords(self) -> Iterator[Coord]:

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Tuple
 
-from repro.noc.routing import LinkId, xy_route_links
+from repro.noc.routing import LinkId, xy_route_links_cached
 from repro.noc.topology import Mesh2D
 
 
@@ -40,9 +40,10 @@ class TrafficMatrix:
         Returns the hop count (0 when src == dst; local accesses use no
         links and contribute no traffic).
         """
-        links = xy_route_links(self.mesh, src, dst)
+        links = xy_route_links_cached(self.mesh, src, dst)
+        flit_map = self._flits
         for link in links:
-            self._flits[link] = self._flits.get(link, 0) + flits
+            flit_map[link] = flit_map.get(link, 0) + flits
         self.total_messages += 1
         self.total_hops += len(links)
         self.total_flit_hops += len(links) * flits
@@ -51,6 +52,16 @@ class TrafficMatrix:
     def flits_on(self, src: int, dst: int) -> int:
         """Traffic recorded on the directed link ``src -> dst``."""
         return self._flits.get((src, dst), 0)
+
+    def max_flits_on(self, links: Iterable[LinkId]) -> int:
+        """Heaviest recorded load among ``links`` (0 when none recorded)."""
+        flit_map = self._flits
+        worst = 0
+        for link in links:
+            count = flit_map.get(link, 0)
+            if count > worst:
+                worst = count
+        return worst
 
     def links(self) -> List[Link]:
         """All links with nonzero traffic, ordered by (src, dst)."""

@@ -74,6 +74,9 @@ class Simulator:
         self.network = NetworkModel(machine.mesh, config.network)
         self.energy_model = EnergyModel(config.energy)
         self._forced_counter = 0
+        # Fast-path distance callable (nested-list indexing, no bounds
+        # checks): all simulated src/dst are valid mesh node ids.
+        self._distance = machine.mesh.distance_fn()
 
     # -- network helpers ----------------------------------------------------
 
@@ -81,20 +84,22 @@ class Simulator:
         """Send one data flit; returns latency, records traffic/movement."""
         if src == dst:
             return 0.0
+        config = self.config
         latency = self.network.send(src, dst, flits=1)
-        hops = self.machine.distance(src, dst)
+        hops = self._distance(src, dst)
         metrics.data_movement += hops
-        metrics.movement_by_seq[seq] = metrics.movement_by_seq.get(seq, 0) + hops
-        if self.config.ideal_network:
+        metrics.movement_by_seq[seq] += hops
+        if config.ideal_network:
             return 0.0
-        return latency * self.config.hop_latency_scale
+        return latency * config.hop_latency_scale
 
     def _request_latency(self, src: int, dst: int) -> float:
         """A small request message: latency only, no data movement charged."""
-        if src == dst or self.config.ideal_network:
+        config = self.config
+        if src == dst or config.ideal_network:
             return 0.0
-        hops = self.machine.distance(src, dst)
-        return hops * self.config.network.router_cycles * self.config.hop_latency_scale
+        hops = self._distance(src, dst)
+        return hops * config.network.router_cycles * config.hop_latency_scale
 
     # -- memory access ------------------------------------------------------
 
@@ -108,18 +113,20 @@ class Simulator:
 
     def _access(self, node: int, array: str, index: int, seq: int, metrics: SimMetrics) -> float:
         """One load at ``node``; returns its latency contribution."""
-        layout = self.machine.layout
+        machine = self.machine
+        config = self.config
+        layout = machine.layout
         block = layout.block_of(array, index)
         bank = layout.l2_bank_of(array, index)
-        home = self.machine.home_node(array, index)
+        home = machine.home_node(array, index)
 
         real_hit = self.caches.l1s[node].access(block)
         l1_hit = (
             self._forced_l1_outcome(block)
-            if self.config.forced_l1_hit_rate is not None
+            if config.forced_l1_hit_rate is not None
             else real_hit
         )
-        latency = self.config.l1_latency
+        latency = config.l1_latency
         if l1_hit:
             metrics.l1_hits += 1
             return latency
@@ -127,7 +134,7 @@ class Simulator:
 
         latency += self._request_latency(node, home)
         l2_hit = self.caches.l2_banks[bank].access(block)
-        latency += self.config.l2_latency
+        latency += config.l2_latency
         if l2_hit:
             metrics.l2_hits += 1
             latency += self._message(home, node, seq, metrics)
@@ -136,21 +143,21 @@ class Simulator:
 
         # L2 miss: forward to the serving controller, then data flows
         # MC -> home bank -> requesting L1 (Figure 1's steps 2..5).
-        if self.config.mc_override:
+        if config.mc_override:
             page = layout.page_of(array, index)
-            mc = self.config.mc_override.get(
-                page, self.machine.mc_node(array, index, requester=node)
+            mc = config.mc_override.get(
+                page, machine.mc_node(array, index, requester=node)
             )
         else:
-            mc = self.machine.mc_node(array, index, requester=node)
+            mc = machine.mc_node(array, index, requester=node)
         latency += self._request_latency(home, mc)
-        memory_cycles = self.machine.memory_access_cycles(array, index)
+        memory_cycles = machine.memory_access_cycles(array, index)
         latency += memory_cycles
         metrics.memory_accesses += 1
         metrics.memory_cycles += memory_cycles
         metrics.energy_breakdown["memory"] = metrics.energy_breakdown.get(
             "memory", 0.0
-        ) + self.machine.memory_access_energy_pj(array)
+        ) + machine.memory_access_energy_pj(array)
         latency += self._message(mc, home, seq, metrics)
         latency += self._message(home, node, seq, metrics)
         return latency
@@ -232,18 +239,28 @@ class Simulator:
         # Each node is a K-context server (SMT): a unit occupies the
         # earliest-free context; waits for remote results overlap with other
         # contexts' work.
-        contexts = max(self.config.contexts_per_node, 1)
+        config = self.config
+        contexts = max(config.contexts_per_node, 1)
         node_ctx: Dict[int, List[float]] = {}
         finish: Dict[int, float] = {}
         processed = 0
-        sync_cost = self.config.sync_cycles + self.config.extra_sync_cycles
+        sync_cost = config.sync_cycles + config.extra_sync_cycles
+        mlp = max(config.memory_level_parallelism, 1.0)
+        cycles_per_op = config.cycles_per_op
+        compute_scale = config.compute_scale
+        per_unit_overhead = config.per_unit_overhead_cycles
+        access = self._access
+        message = self._message
+        heappush = heapq.heappush
         seqs: Set[int] = set()
 
         while ready:
             _, uid = heapq.heappop(ready)
             unit = by_uid[uid]
-            seqs.add(unit.seq)
-            servers = node_ctx.setdefault(unit.node, [0.0] * contexts)
+            node = unit.node
+            seq = unit.seq
+            seqs.add(seq)
+            servers = node_ctx.setdefault(node, [0.0] * contexts)
 
             # When are this unit's inputs all present?
             input_ready = 0.0
@@ -251,13 +268,12 @@ class Simulator:
             for result in unit.sub_results:
                 producer = by_uid[result.producer_uid]
                 arrival = finish[producer.uid]
-                if producer.node != unit.node:
-                    arrival += self._message(
-                        producer.node, unit.node, unit.seq, metrics
-                    )
+                if producer.node != node:
+                    arrival += message(producer.node, node, seq, metrics)
                     arrival += sync_cost
                     metrics.sync_count += 1
-                input_ready = max(input_ready, arrival)
+                if arrival > input_ready:
+                    input_ready = arrival
 
             # Memory-order predecessors.  A cross-node *flow* dependence
             # needs a point-to-point synchronization (the consumer spins on
@@ -268,55 +284,51 @@ class Simulator:
                     continue
                 producer = by_uid[producer_uid]
                 arrival = finish[producer_uid]
-                if producer.node != unit.node:
+                if producer.node != node:
                     arrival += sync_cost
                     metrics.sync_count += 1
-                input_ready = max(input_ready, arrival)
+                if arrival > input_ready:
+                    input_ready = arrival
 
             # A blocked thread yields its context (SMT): occupy the context
-            # that minimizes the actual service start.
-            slot = min(
-                range(contexts), key=lambda s: (max(servers[s], input_ready), servers[s])
-            )
-            start = max(servers[slot], input_ready)
-            metrics.sync_wait_cycles += max(0.0, input_ready - servers[slot])
+            # that minimizes the actual service start (ties: lowest index,
+            # then earliest-free server — the min-by-key order).
+            slot = 0
+            slot_free = servers[0]
+            best_start = slot_free if slot_free > input_ready else input_ready
+            for s in range(1, contexts):
+                free = servers[s]
+                candidate = free if free > input_ready else input_ready
+                if candidate < best_start or (
+                    candidate == best_start and free < slot_free
+                ):
+                    slot = s
+                    slot_free = free
+                    best_start = candidate
+            start = best_start
+            wait = input_ready - slot_free
+            if wait > 0.0:
+                metrics.sync_wait_cycles += wait
 
             # Gather raw data through the memory hierarchy.  Independent
             # loads overlap up to the configured memory-level parallelism.
-            latencies: List[float] = []
-            for gathered in unit.gathered:
-                latencies.append(
-                    self._access(
-                        unit.node, gathered.access.array, gathered.access.index,
-                        unit.seq, metrics,
-                    )
-                )
+            latencies: List[float] = [
+                access(node, g.access.array, g.access.index, seq, metrics)
+                for g in unit.gathered
+            ]
             # The store writes through the hierarchy at the executing node.
-            if unit.store is not None:
-                latencies.append(
-                    self._access(
-                        unit.node, unit.store.array, unit.store.index,
-                        unit.seq, metrics,
-                    )
-                )
+            store = unit.store
+            if store is not None:
+                latencies.append(access(node, store.array, store.index, seq, metrics))
             if latencies:
                 slowest = max(latencies)
                 rest = sum(latencies) - slowest
-                access_time = slowest + rest / max(
-                    self.config.memory_level_parallelism, 1.0
-                )
+                access_time = slowest + rest / mlp
             else:
                 access_time = 0.0
 
-            compute_time = (
-                unit.cost * self.config.cycles_per_op * self.config.compute_scale
-            )
-            end = (
-                start
-                + access_time
-                + compute_time
-                + self.config.per_unit_overhead_cycles
-            )
+            compute_time = unit.cost * cycles_per_op * compute_scale
+            end = start + access_time + compute_time + per_unit_overhead
             finish[uid] = end
             servers[slot] = end
             metrics.op_count += unit.op_count
@@ -326,7 +338,7 @@ class Simulator:
             for successor in succs[uid]:
                 indegree[successor] -= 1
                 if indegree[successor] == 0:
-                    heapq.heappush(ready, (by_uid[successor].seq, successor))
+                    heappush(ready, (by_uid[successor].seq, successor))
 
         if processed != len(units):
             raise SimulationError(

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, List
 
@@ -39,8 +40,9 @@ class SimMetrics:
     energy_pj: float = 0.0
     energy_breakdown: Dict[str, float] = field(default_factory=dict)
 
-    # per-statement-instance movement, keyed by instance seq
-    movement_by_seq: Dict[int, int] = field(default_factory=dict)
+    # per-statement-instance movement, keyed by instance seq; a defaultdict
+    # so the simulator's hot message path can `+=` without a get() probe
+    movement_by_seq: Dict[int, int] = field(default_factory=lambda: defaultdict(int))
 
     def l1_hit_rate(self) -> float:
         total = self.l1_hits + self.l1_misses

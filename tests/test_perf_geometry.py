@@ -1,0 +1,158 @@
+"""Equivalence of the precomputed location tables with the per-element paths.
+
+The perf layer replaces coordinate math and physical-address probing with
+precomputed tables (``Mesh2D.distance_table``, ``DataLayout.bank_map`` /
+``channel_map``, ``Machine.home_node_map`` / MC maps).  These tests pin the
+tables element-for-element to the original algorithms recomputed from first
+principles — including the non-square mesh, the XOR-fold bank hash, all
+three cluster modes, and MC-map invalidation when ``record_profile``
+changes the MCDRAM flat placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.arch.cluster_modes import ClusterMode
+from repro.arch.knl import small_machine
+from repro.arch.machine import Machine, MachineConfig
+from repro.arch.memory_modes import MemoryMode
+from repro.mem.address import (
+    AddressMapping,
+    CacheLineInterleaving,
+    PageInterleaving,
+)
+from repro.mem.layout import DataLayout
+from repro.noc.topology import Mesh2D
+
+ARRAYS = [("A", 96), ("B", 64), ("C", 200)]
+
+CLUSTERS = [ClusterMode.ALL_TO_ALL, ClusterMode.QUADRANT, ClusterMode.SNC4]
+
+
+def _declare(machine: Machine) -> None:
+    for name, length in ARRAYS:
+        machine.declare_array(name, length)
+
+
+def _reference_home(machine: Machine, name: str, index: int) -> int:
+    """The original home_node algorithm, recomputed from the physical address."""
+    bank = machine.mapping.l2.bank_of(machine.layout.pa_of(name, index))
+    node = machine.node_of_bank(bank)
+    if machine.config.cluster_mode is ClusterMode.SNC4:
+        owner = machine.default_owner(name, index)
+        node = machine._remap_into_quadrant(node, machine.mesh.quadrant_of(owner))
+    return node
+
+
+def _reference_mc(machine: Machine, name: str, index: int) -> int:
+    """The original mc_node algorithm, recomputed from the physical address."""
+    home = _reference_home(machine, name, index)
+    if machine.mcdram.in_flat_mcdram(name):
+        return min(machine.edc_nodes, key=lambda e: (machine.distance(home, e), e))
+    if machine.config.cluster_mode is ClusterMode.ALL_TO_ALL:
+        channel = machine.mapping.memory.channel_of(machine.layout.pa_of(name, index))
+        return machine.mc_nodes[channel % len(machine.mc_nodes)]
+    return machine._corner_of_quadrant(machine.mesh.quadrant_of(home))
+
+
+@pytest.mark.parametrize("cols,rows", [(6, 6), (5, 3), (1, 7)])
+def test_distance_table_matches_manhattan(cols, rows):
+    mesh = Mesh2D(cols, rows)
+    table = mesh.distance_table
+    assert table.shape == (mesh.node_count, mesh.node_count)
+    for a in range(mesh.node_count):
+        ca = mesh.coord_of(a)
+        for b in range(mesh.node_count):
+            want = ca.manhattan(mesh.coord_of(b))
+            assert mesh.distance(a, b) == want
+            assert int(table[a, b]) == want
+
+
+@pytest.mark.parametrize("hash_fold", [False, True])
+def test_bank_and_channel_maps_match_pa_path(hash_fold):
+    mapping = AddressMapping(
+        l2=CacheLineInterleaving(bank_count=32, hash_fold=hash_fold),
+        memory=PageInterleaving(),
+    )
+    layout = DataLayout(mapping)
+    for name, length in ARRAYS:
+        layout.declare(name, length)
+    for name, length in ARRAYS:
+        banks = layout.bank_map(name)
+        channels = layout.channel_map(name)
+        for i in range(length):
+            pa = layout.pa_of(name, i)
+            assert layout.l2_bank_of(name, i) == mapping.l2.bank_of(pa)
+            assert int(banks[i]) == mapping.l2.bank_of(pa)
+            assert layout.channel_of(name, i) == mapping.memory.channel_of(pa)
+            assert int(channels[i]) == mapping.memory.channel_of(pa)
+
+
+@pytest.mark.parametrize("memory", [MemoryMode.FLAT, MemoryMode.CACHE])
+@pytest.mark.parametrize("cluster", CLUSTERS)
+def test_home_and_mc_maps_match_reference(cluster, memory):
+    machine = small_machine(cluster, memory)
+    _declare(machine)
+    machine.record_profile({"A": 100.0, "B": 10.0, "C": 1.0})
+    for name, length in ARRAYS:
+        homes = machine.home_node_map(name)
+        for i in range(length):
+            want = _reference_home(machine, name, i)
+            assert machine.home_node(name, i) == want
+            assert int(homes[i]) == want
+            assert machine.mc_node(name, i) == _reference_mc(machine, name, i)
+
+
+@pytest.mark.parametrize("cluster", CLUSTERS)
+def test_nonsquare_machine_maps_match_reference(cluster):
+    config = MachineConfig(
+        mesh_cols=5, mesh_rows=3, l2_bank_count=8, cluster_mode=cluster
+    )
+    machine = Machine(config)
+    _declare(machine)
+    for name, length in ARRAYS:
+        for i in range(length):
+            assert machine.home_node(name, i) == _reference_home(machine, name, i)
+            assert machine.mc_node(name, i) == _reference_mc(machine, name, i)
+
+
+def test_snc4_owner_hint_still_uses_requester_quadrant():
+    machine = small_machine(ClusterMode.SNC4)
+    _declare(machine)
+    for owner in (0, 5, 10, 15):
+        for i in range(0, 200, 7):
+            bank = machine.mapping.l2.bank_of(machine.layout.pa_of("C", i))
+            node = machine.node_of_bank(bank)
+            want = machine._remap_into_quadrant(
+                node, machine.mesh.quadrant_of(owner)
+            )
+            assert machine.home_node("C", i, owner_hint=owner) == want
+
+
+def test_mc_map_invalidated_by_record_profile():
+    # Capacity fits only part of the data, so re-profiling moves arrays in
+    # and out of flat MCDRAM and must flip their serving controller.
+    machine = Machine(
+        MachineConfig(
+            mesh_cols=4, mesh_rows=4, l2_bank_count=16, mcdram_capacity_bytes=2048
+        )
+    )
+    _declare(machine)
+
+    machine.record_profile({"C": 100.0, "A": 1.0, "B": 1.0})
+    assert machine.mcdram.in_flat_mcdram("C")
+    before = [machine.mc_node("C", i) for i in range(200)]
+    for name, length in ARRAYS:
+        for i in range(length):
+            assert machine.mc_node(name, i) == _reference_mc(machine, name, i)
+
+    machine.record_profile({"A": 100.0, "B": 50.0, "C": 1.0})
+    assert not machine.mcdram.in_flat_mcdram("C")
+    after = [machine.mc_node("C", i) for i in range(200)]
+    for name, length in ARRAYS:
+        for i in range(length):
+            assert machine.mc_node(name, i) == _reference_mc(machine, name, i)
+    assert before != after  # EDC service before, DDR corner after

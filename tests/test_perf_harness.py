@@ -1,0 +1,36 @@
+"""Smoke test of the timing harness: run the tiny app, validate the JSON."""
+
+from __future__ import annotations
+
+import json
+
+from repro.benchmarks import perf
+
+
+def test_tiny_bench_emits_valid_schema(tmp_path):
+    out = tmp_path / "BENCH_compile.json"
+    assert perf.main(["--tiny", "--out", str(out)]) == 0
+
+    payload = json.loads(out.read_text())
+    assert payload["version"] == perf.SCHEMA_VERSION
+    assert payload["scale"] == 1
+    assert payload["seed"] == 0
+    assert payload["jobs"] == 1
+    assert isinstance(payload["apps"], list) and len(payload["apps"]) == 1
+
+    entry = payload["apps"][0]
+    assert entry["app"] == "tiny"
+    assert set(entry["phases"]) == set(perf.PHASES)
+    for name in perf.PHASES:
+        value = entry["phases"][name]
+        assert isinstance(value, float) and value >= 0.0
+    assert entry["total_seconds"] >= max(entry["phases"].values())
+    assert payload["total_seconds"] == entry["total_seconds"]
+
+
+def test_bench_app_respects_jobs_knob(tmp_path):
+    out = tmp_path / "bench_jobs.json"
+    assert perf.main(["--tiny", "--jobs", "2", "--out", str(out)]) == 0
+    payload = json.loads(out.read_text())
+    assert payload["jobs"] == 2
+    assert payload["apps"][0]["phases"]["partition"] >= 0.0
