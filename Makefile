@@ -4,8 +4,10 @@ export PYTHONPATH
 
 JOBS ?= 1
 BENCH_OUT ?= BENCH_compile.json
+APP ?= ocean
+REPORT_OUT ?= report.json
 
-.PHONY: test bench bench-smoke quick
+.PHONY: test bench bench-smoke quick report report-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -22,3 +24,13 @@ bench-smoke:
 # 4-app experiment subset; JOBS>1 prewarms caches across processes
 quick:
 	$(PYTHON) -m repro.experiments.runner --quick --jobs $(JOBS)
+
+# Machine-readable compile report for one app (schema: src/repro/obs/schema.py)
+report:
+	$(PYTHON) -m repro.cli report $(APP) --out $(REPORT_OUT)
+	$(PYTHON) -m repro.obs.schema $(REPORT_OUT)
+
+# Sub-second report on the built-in tiny app, then schema-validate it.
+report-smoke:
+	$(PYTHON) -m repro.cli report tiny --out report_smoke.json --trace trace_smoke.jsonl
+	$(PYTHON) -m repro.obs.schema report_smoke.json

@@ -1,7 +1,7 @@
 """Compile/simulate timing harness.
 
-``python -m repro.benchmarks.perf [--apps a,b | --tiny] [--out FILE]``
-times each pipeline phase per application — workload build, NDP
+``python -m repro.benchmarks.perf [--apps a,b | --tiny] [--out FILE]
+[--trace FILE]`` times each pipeline phase per application — workload build, NDP
 partitioning (the compile step, including the window-size search),
 default-placement simulation, and optimized simulation — and writes the
 results to ``BENCH_compile.json``.
@@ -167,6 +167,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="WindowConfig.jobs for the partition phase (1 = serial)",
     )
     parser.add_argument("--out", default="BENCH_compile.json")
+    parser.add_argument(
+        "--trace",
+        default="",
+        metavar="FILE",
+        help="write structured JSONL trace events to FILE (adds a little "
+        "I/O to the timed phases; leave off for clean numbers)",
+    )
     args = parser.parse_args(argv)
 
     if args.tiny and args.apps:
@@ -180,7 +187,15 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         apps = list(DEFAULT_APPS)
 
-    payload = run_bench(apps, args.scale, args.seed, args.jobs, tiny=args.tiny)
+    if args.trace:
+        from repro.obs.tracer import tracing
+
+        with tracing(args.trace):
+            payload = run_bench(
+                apps, args.scale, args.seed, args.jobs, tiny=args.tiny
+            )
+    else:
+        payload = run_bench(apps, args.scale, args.seed, args.jobs, tiny=args.tiny)
     with open(args.out, "w") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
         fh.write("\n")

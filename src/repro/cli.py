@@ -3,10 +3,18 @@
 Subcommands:
 
 * ``compare APP``   — default vs NDP-partitioned run of one workload.
+* ``report APP``    — run one workload and write a machine-readable
+  ``report.json`` (plan per nest, deltas vs default, NoC link heatmap,
+  per-phase timings; schema in :mod:`repro.obs.schema`).
 * ``codegen APP``   — show the generated per-node code for a few windows.
 * ``experiments``   — run the full table/figure suite (see
   :mod:`repro.experiments.runner` for flags).
 * ``list``          — list the available workloads.
+
+``compare``, ``report``, and ``experiments`` accept ``--trace FILE`` to
+stream structured JSONL trace events (compile spans, gate verdicts,
+window-search candidates, simulator epochs) to ``FILE``; see
+:mod:`repro.obs.tracer`.  Tracing never changes any printed number.
 """
 
 from __future__ import annotations
@@ -26,7 +34,22 @@ def _cmd_list(_args) -> int:
     return 0
 
 
+def _traced(args, fn) -> int:
+    """Run ``fn()`` under ``--trace FILE`` when given, else directly."""
+    trace = getattr(args, "trace", None)
+    if not trace:
+        return fn()
+    from repro.obs.tracer import tracing
+
+    with tracing(trace, debug=getattr(args, "trace_debug", False)):
+        return fn()
+
+
 def _cmd_compare(args) -> int:
+    return _traced(args, lambda: _run_compare(args))
+
+
+def _run_compare(args) -> int:
     from repro.utils.barchart import percent_chart
 
     comparison = compare_app(args.app, scale=args.scale, seed=args.seed)
@@ -47,6 +70,32 @@ def _cmd_compare(args) -> int:
     )
     print(f"\nwindow sizes  : {comparison.partition.window_sizes}")
     print(f"plan variants : {comparison.partition.variant_by_nest}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.obs.report import (
+        build_report,
+        heatmap_of,
+        summary_lines,
+        write_report,
+    )
+
+    report = build_report(
+        args.app,
+        scale=args.scale,
+        seed=args.seed,
+        trace_file=args.trace or None,
+        debug_trace=args.trace_debug,
+    )
+    write_report(report, args.out)
+    print("\n".join(summary_lines(report)))
+    if not args.no_heatmap:
+        print("\nNoC link heatmap (flits per link, both directions summed):")
+        print(heatmap_of(report).ascii_grid())
+    print(f"\nwrote {args.out}")
+    if args.trace:
+        print(f"trace: {args.trace}")
     return 0
 
 
@@ -72,20 +121,54 @@ def _cmd_experiments(args) -> int:
     if args.apps:
         forwarded.extend(["--apps", args.apps])
     forwarded.extend(["--scale", str(args.scale), "--seed", str(args.seed)])
+    if args.trace:
+        forwarded.extend(["--trace", args.trace])
     return runner_main(forwarded)
 
 
 def main(argv: List[str] = None) -> int:
+    """Parse ``argv`` (default: ``sys.argv[1:]``) and dispatch a subcommand."""
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list workloads").set_defaults(func=_cmd_list)
 
+    def add_trace_flags(p) -> None:
+        p.add_argument(
+            "--trace",
+            default="",
+            metavar="FILE",
+            help="write structured JSONL trace events to FILE",
+        )
+        p.add_argument(
+            "--trace-debug",
+            action="store_true",
+            help="also emit per-instance firehose events (large traces)",
+        )
+
     compare = sub.add_parser("compare", help="default vs optimized for one app")
     compare.add_argument("app", choices=ALL_WORKLOAD_NAMES)
     compare.add_argument("--scale", type=int, default=1)
     compare.add_argument("--seed", type=int, default=0)
+    add_trace_flags(compare)
     compare.set_defaults(func=_cmd_compare)
+
+    report = sub.add_parser(
+        "report", help="write a machine-readable report.json for one app"
+    )
+    report.add_argument(
+        "app",
+        choices=list(ALL_WORKLOAD_NAMES) + ["tiny"],
+        help="workload name, or 'tiny' for the built-in sub-second app",
+    )
+    report.add_argument("--scale", type=int, default=1)
+    report.add_argument("--seed", type=int, default=0)
+    report.add_argument("--out", default="report.json", metavar="FILE")
+    report.add_argument(
+        "--no-heatmap", action="store_true", help="skip the ASCII heatmap"
+    )
+    add_trace_flags(report)
+    report.set_defaults(func=_cmd_report)
 
     codegen = sub.add_parser("codegen", help="show generated per-node code")
     codegen.add_argument("app", choices=ALL_WORKLOAD_NAMES)
@@ -99,6 +182,12 @@ def main(argv: List[str] = None) -> int:
     experiments.add_argument("--apps", default="")
     experiments.add_argument("--scale", type=int, default=1)
     experiments.add_argument("--seed", type=int, default=0)
+    experiments.add_argument(
+        "--trace",
+        default="",
+        metavar="FILE",
+        help="write structured JSONL trace events to FILE",
+    )
     experiments.set_defaults(func=_cmd_experiments)
 
     args = parser.parse_args(argv)

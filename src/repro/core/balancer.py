@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence
 
+from repro.obs.tracer import get_tracer
+
 #: Cost of each primitive operator; division is 10x (paper footnote 5).
 OP_COSTS: Dict[str, float] = {"+": 1.0, "-": 1.0, "*": 1.0, "/": 10.0}
 
@@ -60,9 +62,17 @@ class LoadBalancer:
             if not self.would_unbalance(node, cost):
                 return node
             self.skips += 1
+            tracer = get_tracer()
+            if tracer.debug:
+                # Firehose (one event per vetoed placement): debug only.
+                tracer.point(
+                    "balance.veto", node=node, cost=cost,
+                    load=round(self.load[node], 3),
+                )
         return min(candidates, key=lambda n: (self.load[n], n))
 
     def record(self, node: int, cost: float) -> None:
+        """Commit ``cost`` to ``node``'s running load."""
         self.load[node] += cost
 
     def imbalance(self) -> float:
@@ -74,5 +84,6 @@ class LoadBalancer:
         return max(self.load) / mean if mean > 0 else 0.0
 
     def reset(self) -> None:
+        """Clear all load state and the skip counter."""
         self.load = [0.0] * self.node_count
         self.skips = 0

@@ -23,6 +23,7 @@ class GeneratedCode:
     lines_by_node: Dict[int, List[str]]
 
     def nodes(self) -> List[int]:
+        """Mesh nodes that received at least one instruction, sorted."""
         return sorted(self.lines_by_node)
 
     def listing(self) -> str:
@@ -35,6 +36,7 @@ class GeneratedCode:
         return "\n".join(chunks)
 
     def line_count(self) -> int:
+        """Total emitted instructions across all nodes."""
         return sum(len(lines) for lines in self.lines_by_node.values())
 
 

@@ -85,6 +85,7 @@ class VariableToNodeMap:
         return tuple(self._nodes_of_block.get(block, ()))
 
     def clear(self) -> None:
+        """Forget every recorded L1 copy (used at window boundaries)."""
         self._blocks_at_node.clear()
         self._nodes_of_block.clear()
         self._resident_count = 0
@@ -136,4 +137,5 @@ class DataLocator:
         return self.machine.home_node(access.array, access.index)
 
     def block_of(self, access: Access) -> int:
+        """The L2 block id holding ``access``'s element."""
         return self.machine.layout.block_of(access.array, access.index)

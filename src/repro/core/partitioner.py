@@ -36,6 +36,7 @@ from repro.errors import SchedulingError
 from repro.ir.dependence import may_depend
 from repro.ir.inspector import InspectorExecutor
 from repro.ir.program import Program
+from repro.obs.tracer import get_tracer
 from repro.utils.stats import mean
 
 
@@ -94,28 +95,34 @@ class PartitionResult:
 
     @property
     def statement_count(self) -> int:
+        """Number of scheduled statement instances across all nests."""
         return sum(s.statement_count for s in self.nest_schedules.values())
 
     def per_statement_movement(self) -> List[int]:
+        """Each statement instance's movement, in program order."""
         out: List[int] = []
         for schedule in self.nest_schedules.values():
             out.extend(schedule.per_statement_movement())
         return out
 
     def parallel_degrees(self) -> List[int]:
+        """Per-statement count of distinct execution nodes (Fig 14)."""
         out: List[int] = []
         for schedule in self.nest_schedules.values():
             out.extend(schedule.parallel_degrees())
         return out
 
     def average_parallelism(self) -> float:
+        """Mean parallel degree over all statement instances."""
         return mean(self.parallel_degrees())
 
     def max_parallelism(self) -> int:
+        """Largest parallel degree of any statement instance."""
         degrees = self.parallel_degrees()
         return max(degrees) if degrees else 0
 
     def syncs_per_statement(self) -> float:
+        """Average minimized synchronizations per statement (Fig 15)."""
         statements = self.statement_count
         if not statements:
             return 0.0
@@ -123,6 +130,7 @@ class PartitionResult:
         return total / statements
 
     def syncs_per_statement_unminimized(self) -> float:
+        """Average pre-minimization synchronizations per statement."""
         statements = self.statement_count
         if not statements:
             return 0.0
@@ -152,6 +160,7 @@ class PartitionResult:
         }
 
     def modeled_l1_hits(self) -> int:
+        """Compile-time estimate of L1 reuse hits across all nests."""
         return sum(s.l1_hits_modeled for s in self.nest_schedules.values())
 
 
@@ -214,23 +223,37 @@ class NdpPartitioner:
         )
 
     def partition(self, program: Program) -> PartitionResult:
-        """Run the full pipeline on ``program``."""
-        program.declare_on(self.machine)
-        self.machine.record_profile(
-            profile_access_counts(program, self.config.profile_instances)
+        """Run the full pipeline on ``program``.
+
+        With tracing enabled (:mod:`repro.obs`), every phase — array
+        profiling, predictor training, split planning, the per-nest gate
+        and window-size search — emits structured span/point events;
+        tracing never changes the produced schedule.
+        """
+        tracer = get_tracer()
+        compile_span = tracer.span(
+            "compile", program=program.name, nests=len(program.nests)
         )
+        program.declare_on(self.machine)
+        with tracer.span("compile.profile_arrays"):
+            self.machine.record_profile(
+                profile_access_counts(program, self.config.profile_instances)
+            )
         predictor_accuracy: Optional[float] = None
         if self.predictor is not None:
-            predictor_accuracy = train_predictor(
-                self.machine,
-                program,
-                self.predictor,
-                self.config.predictor_training_instances,
-            )
+            with tracer.span("compile.train_predictor") as train_span:
+                predictor_accuracy = train_predictor(
+                    self.machine,
+                    program,
+                    self.predictor,
+                    self.config.predictor_training_instances,
+                )
+                train_span.add(accuracy=round(predictor_accuracy, 6))
         # Irregular nests need inspection before their indirect accesses can
         # be resolved; the inspector also validates index data availability.
         if may_depend(program):
-            InspectorExecutor(program).inspect_all()
+            with tracer.span("compile.inspect"):
+                InspectorExecutor(program).inspect_all()
 
         locator = DataLocator(self.machine, self.predictor)
         # The default placement's iteration->node assignment: unsplit
@@ -241,15 +264,31 @@ class NdpPartitioner:
 
         fallback_nodes = DefaultPlacement(self.machine).assignment(program)
         if self.config.split_plan_override is None:
-            locator_for_profiling = DataLocator(self.machine, self.predictor)
-            profiles = profile_statements(
-                self.machine,
-                program,
-                locator_for_profiling,
-                fallback_nodes,
-                sample_per_nest=self.config.profile_instances,
-            )
-            split_plan = build_split_plan(profiles, self.config.window.split_bias)
+            with tracer.span("compile.split_plan"):
+                locator_for_profiling = DataLocator(self.machine, self.predictor)
+                profiles = profile_statements(
+                    self.machine,
+                    program,
+                    locator_for_profiling,
+                    fallback_nodes,
+                    sample_per_nest=self.config.profile_instances,
+                )
+                split_plan = build_split_plan(
+                    profiles, self.config.window.split_bias
+                )
+                if tracer.enabled:
+                    for key in sorted(profiles):
+                        profile = profiles[key]
+                        tracer.point(
+                            "compile.statement_profile",
+                            nest=key[0],
+                            body_index=key[1],
+                            instances=profile.instances,
+                            star_movement=round(profile.star_movement, 6),
+                            mst_weight=round(profile.mst_weight, 6),
+                            serial_chain=profile.serial_chain,
+                            split=split_plan[key],
+                        )
         else:
             profiles = {}
             split_plan = dict(self.config.split_plan_override)
@@ -262,6 +301,9 @@ class NdpPartitioner:
         for nest in program.nests:
             if nest.name in nest_schedules:
                 raise SchedulingError(f"duplicate nest name {nest.name!r}")
+            nest_span = tracer.span(
+                "compile.nest", nest=nest.name, statements=nest.body_size
+            )
             # One split cache per nest, shared by the gate's candidate-plan
             # passes, the window-size search, and the final scheduling: a
             # statement's empty-map split depends only on its operands, so
@@ -323,7 +365,17 @@ class NdpPartitioner:
                 nest_schedules[nest.name] = schedule
                 window_sizes[nest.name] = size
                 movement_by_size[nest.name] = {size: schedule.movement}
-        return PartitionResult(
+            final = nest_schedules[nest.name]
+            nest_span.add(
+                variant=variant,
+                window_size=window_sizes[nest.name],
+                movement=final.movement,
+                syncs=final.sync_count,
+                syncs_unminimized=final.sync_count_unminimized,
+                reused_gate_schedule=reuse is not None,
+            )
+            nest_span.end()
+        result = PartitionResult(
             program_name=program.name,
             nest_schedules=nest_schedules,
             window_sizes=window_sizes,
@@ -332,6 +384,11 @@ class NdpPartitioner:
             variant_by_nest=variant_by_nest,
             split_plan=chosen_plan,
         )
+        compile_span.add(
+            movement=result.movement, statements=result.statement_count
+        )
+        compile_span.end()
+        return result
 
     def _choose_nest_plan(
         self,
@@ -363,7 +420,9 @@ class NdpPartitioner:
             key: not (key in profiles and profiles[key].serial_chain)
             for key in keys
         }
+        tracer = get_tracer()
         if self.config.window.always_split:
+            tracer.point("gate.skip", nest=nest.name, reason="always_split")
             return all_split, "split", None
         candidates = []
         if any(from_profile.values()):
@@ -372,10 +431,23 @@ class NdpPartitioner:
             candidates.append(("split", all_split))
         if not candidates or self.config.gate_sample_instances < 0:
             variant = "profile" if any(from_profile.values()) else "star"
+            tracer.point(
+                "gate.skip",
+                nest=nest.name,
+                reason="no_candidates" if not candidates else "gate_disabled",
+                variant=variant,
+            )
             return from_profile, variant, None
 
         star_cycles, star_movement, star_reuse = self._gate_measure(
             program, nest, locator, fallback_nodes, star, split_cache, uid_counter
+        )
+        tracer.point(
+            "gate.candidate",
+            nest=nest.name,
+            variant="star",
+            cycles=star_cycles,
+            movement=star_movement,
         )
         best_plan = star
         best_variant = "star"
@@ -387,7 +459,19 @@ class NdpPartitioner:
                 program, nest, locator, fallback_nodes, plan, split_cache,
                 uid_counter,
             )
-            if cycles < best_cycles and movement <= tolerance * max(star_movement, 1):
+            accepted = (
+                cycles < best_cycles
+                and movement <= tolerance * max(star_movement, 1)
+            )
+            tracer.point(
+                "gate.candidate",
+                nest=nest.name,
+                variant=variant,
+                cycles=cycles,
+                movement=movement,
+                accepted=accepted,
+            )
+            if accepted:
                 best_cycles = cycles
                 best_plan = plan
                 best_variant = variant
@@ -414,6 +498,13 @@ class NdpPartitioner:
             )
             if not reusable:
                 best_reuse = None
+        tracer.point(
+            "gate.verdict",
+            nest=nest.name,
+            variant=best_variant,
+            cycles=best_cycles,
+            schedule_reused=best_reuse is not None,
+        )
         return best_plan, best_variant, best_reuse
 
     def _gate_measure(

@@ -46,6 +46,7 @@ class StatementProfile:
     serial_chain: bool = False  # consecutive instances write the same element
 
     def should_split(self, bias: float) -> bool:
+        """True when the profile predicts splitting beats the default here."""
         if self.serial_chain:
             # A reduction whose LHS repeats across consecutive instances is
             # a serial dependence chain: every split link inserts a

@@ -54,9 +54,11 @@ class _Builder:
 
     @property
     def input_count(self) -> int:
+        """Number of value inputs (sub-results + gathered operands)."""
         return len(self.gathered) + len(self.sub_results)
 
     def finalize(self, store=None) -> Subcomputation:
+        """Freeze the builder into an immutable :class:`Subcomputation`."""
         breakdown: Dict[str, int] = {}
         for op in self.ops:
             breakdown[op] = breakdown.get(op, 0) + 1
@@ -92,12 +94,14 @@ class StatementSchedule:
 
     @property
     def l1_hits_modeled(self) -> int:
+        """Compile-time L1 reuse hits modeled for this schedule."""
         return sum(
             1 for s in self.subcomputations for g in s.gathered if g.l1_hit
         )
 
     @property
     def gathers(self) -> int:
+        """Total operand-gather messages across subcomputations."""
         return sum(len(s.gathered) for s in self.subcomputations)
 
     def sync_arcs(self) -> List[Tuple[int, int]]:
@@ -270,9 +274,11 @@ def schedule_statement(
     builders: List[_Builder] = []
 
     def carrier_of(member: int):
+        """The value carrier currently representing ``member``'s component."""
         return carriers[components.find(member)]
 
     def set_carrier(member: int, carrier) -> None:
+        """Re-point ``member``'s component at a new value carrier."""
         carriers[components.find(member)] = carrier
 
     # Initialize leaf and store carriers.
@@ -292,6 +298,7 @@ def schedule_statement(
         carriers[components.find(record.set_id)] = anchor_carrier
 
     def effective_op(set_op: str, leaf: Optional[LeafInfo]) -> str:
+        """The operator a merged leaf contributes (sign/inverse folded)."""
         if leaf is not None:
             if leaf.inverted:
                 return "/"
@@ -300,6 +307,7 @@ def schedule_statement(
         return set_op
 
     def gather(leaf: LeafInfo, at_node: int) -> GatheredInput:
+        """Record pulling ``leaf``'s value to ``at_node``, charging hops."""
         location = leaf.location
         block = locator.block_of(leaf.access)
         resident = at_node in location.l1_copies or (

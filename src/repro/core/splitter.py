@@ -30,6 +30,7 @@ from repro.core.mst import MstEdge
 from repro.errors import SchedulingError
 from repro.ir.nested_sets import LeafOperand, OperandSet, build_operand_tree
 from repro.ir.statement import Access, StatementInstance
+from repro.obs.tracer import get_tracer
 from repro.utils.union_find import UnionFind
 
 
@@ -92,6 +93,7 @@ class StatementSplit:
 
     @property
     def leaf_count(self) -> int:
+        """Number of leaf operands resolved for this statement."""
         return len(self.leaves)
 
 
@@ -252,7 +254,7 @@ def split_statement(
 
     root_member = build_member(tree, 0, is_root=True)
 
-    return StatementSplit(
+    split = StatementSplit(
         instance=instance,
         leaves=leaves,
         sets=sets,
@@ -262,6 +264,17 @@ def split_statement(
         store_node=store_node,
         root_member=root_member,
     )
+    tracer = get_tracer()
+    if tracer.debug:
+        # Firehose (one event per freshly split instance): debug only.
+        tracer.point(
+            "split.statement",
+            seq=instance.seq,
+            leaves=split.leaf_count,
+            mst_weight=split.mst_weight,
+            store_node=store_node,
+        )
+    return split
 
 
 def _shuffle_equal_weights(

@@ -67,6 +67,7 @@ class Subcomputation:
 
     @property
     def is_final(self) -> bool:
+        """True for the subcomputation that stores the statement's result."""
         return self.store is not None
 
     @property
@@ -82,6 +83,7 @@ class Subcomputation:
         return len(self.sub_results)
 
     def describe(self) -> str:
+        """One-line human-readable rendering (for code listings)."""
         inputs = [str(g.access) for g in self.gathered]
         inputs += [f"T{r.producer_uid}" for r in self.sub_results]
         joined = f" {self.op} ".join(inputs) if inputs else "<empty>"

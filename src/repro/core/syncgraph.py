@@ -37,9 +37,11 @@ class SyncGraph:
             self.arcs_added += 1
 
     def arc_count(self) -> int:
+        """Number of synchronization arcs currently in the graph."""
         return sum(len(s) for s in self._succ.values())
 
     def arcs(self) -> List[Tuple[int, int]]:
+        """All arcs as (producer uid, consumer uid) pairs."""
         out = []
         for producer in sorted(self._succ):
             for consumer in sorted(self._succ[producer]):
@@ -104,6 +106,7 @@ class SyncGraph:
         return order
 
     def merge(self, other: "SyncGraph") -> None:
+        """Absorb ``other``'s arcs into this graph."""
         for producer, successors in other._succ.items():
             for consumer in successors:
                 self.add_arc(producer, consumer)

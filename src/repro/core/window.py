@@ -39,6 +39,7 @@ from repro.ir.dependence import DependenceKind, instance_dependences
 from repro.ir.loop import LoopNest
 from repro.ir.program import Program
 from repro.ir.statement import StatementInstance
+from repro.obs.tracer import get_tracer
 from repro.utils.rng import derive_rng
 
 #: The paper found no nest preferring more than 8 statements (footnote 4).
@@ -94,10 +95,12 @@ class WindowSchedule:
 
     @property
     def movement(self) -> int:
+        """Total data movement of the window (sum of member MSTs)."""
         return sum(s.movement for s in self.schedules)
 
     @property
     def statement_count(self) -> int:
+        """Statement instances scheduled in this window."""
         return len(self.schedules)
 
 
@@ -111,45 +114,56 @@ class NestSchedule:
 
     @property
     def movement(self) -> int:
+        """Total data movement across every window of the nest."""
         return sum(w.movement for w in self.windows)
 
     @property
     def statement_count(self) -> int:
+        """Statement instances scheduled across the nest."""
         return sum(w.statement_count for w in self.windows)
 
     @property
     def subcomputation_count(self) -> int:
+        """Total subcomputations across the nest's windows."""
         return sum(
             len(s.subcomputations) for w in self.windows for s in w.schedules
         )
 
     @property
     def l1_hits_modeled(self) -> int:
+        """Compile-time L1 reuse hits modeled across the nest."""
         return sum(s.l1_hits_modeled for w in self.windows for s in w.schedules)
 
     @property
     def gathers(self) -> int:
+        """Total operand-gather messages across the nest."""
         return sum(s.gathers for w in self.windows for s in w.schedules)
 
     @property
     def sync_count(self) -> int:
+        """Synchronization arcs after transitive-closure minimization."""
         return sum(w.syncs_after_minimization for w in self.windows)
 
     @property
     def sync_count_unminimized(self) -> int:
+        """Synchronization arcs before minimization."""
         return sum(w.syncs_before_minimization for w in self.windows)
 
     def statement_schedules(self) -> Iterator[StatementSchedule]:
+        """Every member statement schedule, in program order."""
         for window in self.windows:
             yield from window.schedules
 
     def per_statement_movement(self) -> List[int]:
+        """Each member statement's movement, in program order."""
         return [s.movement for s in self.statement_schedules()]
 
     def parallel_degrees(self) -> List[int]:
+        """Per-statement distinct-node counts across the nest."""
         return [s.parallel_degree() for s in self.statement_schedules()]
 
     def remapped_op_breakdown(self) -> Dict[str, int]:
+        """Operator counts of re-mapped (non-home) subcomputations (Table 3)."""
         counts: Dict[str, int] = {}
         for schedule in self.statement_schedules():
             for op, count in schedule.remapped_op_breakdown().items():
@@ -260,6 +274,17 @@ class WindowScheduler:
         before = graph.arc_count()
         graph.minimize()
         after = graph.arc_count()
+        tracer = get_tracer()
+        if tracer.debug:
+            # Per-window events are a firehose (thousands of windows per
+            # nest); aggregate sync counts always appear in the nest span.
+            tracer.point(
+                "sync.minimize",
+                window_start_seq=instances[0].seq if instances else -1,
+                statements=len(schedules),
+                arcs_before=before,
+                arcs_after=after,
+            )
         return WindowSchedule(schedules, graph, before, after)
 
     #: Split caches stop growing past this many entries (memory bound for
@@ -427,6 +452,10 @@ class WindowSizeSearch:
         state is what the trial measures, so only the stateless work is
         hoisted out of the loop.
         """
+        tracer = get_tracer()
+        search_span = tracer.span(
+            "window.search", nest=nest.name, sample=sample
+        )
         instances = self._sample_instances(program, nest, sample)
         sizes = range(1, self.config.max_window_size + 1)
         if self.config.jobs > 1 and len(instances) > 0:
@@ -439,6 +468,19 @@ class WindowSizeSearch:
                     scheduler, instances, size
                 )
         best_size = min(movement_by_size, key=lambda s: (movement_by_size[s], s))
+        if tracer.enabled:
+            # Emitted after all trials complete (not per trial) so the
+            # stream is identical whether the trials ran serial (jobs=1,
+            # in-process) or fanned out over worker processes.
+            for size in sorted(movement_by_size):
+                tracer.point(
+                    "window.candidate",
+                    nest=nest.name,
+                    size=size,
+                    movement=movement_by_size[size],
+                )
+        search_span.add(best_size=best_size, movement=movement_by_size[best_size])
+        search_span.end()
         return best_size, movement_by_size
 
     def _parallel_trials(

@@ -1,8 +1,11 @@
 """Run every experiment and emit a combined report.
 
 ``python -m repro.experiments.runner [--apps a,b,c] [--scale N] [--quick]
-[--jobs N]`` prints each table/figure's report in paper order; ``--quick``
-restricts to a 4-app subset for smoke runs.  ``--jobs N`` fans the heavy
+[--jobs N] [--trace FILE]`` prints each table/figure's report in paper
+order; ``--quick`` restricts to a 4-app subset for smoke runs.
+``--trace FILE`` streams structured JSONL trace events for every compile
+and simulation in the suite to ``FILE`` (see :mod:`repro.obs.tracer`);
+it never changes the rendered reports.  ``--jobs N`` fans the heavy
 per-app compile+simulate work (all cluster/memory-mode comparisons, the
 ideal-analysis runs, and the fixed-window sweeps) out over N worker
 processes before the reports are rendered serially, so the output is
@@ -77,6 +80,12 @@ def main(argv: List[str] = None) -> int:
         default=1,
         help="worker processes for the per-app prewarm phase (1 = serial)",
     )
+    parser.add_argument(
+        "--trace",
+        default="",
+        metavar="FILE",
+        help="write structured JSONL trace events to FILE",
+    )
     args = parser.parse_args(argv)
     if args.apps:
         apps = [a.strip() for a in args.apps.split(",") if a.strip()]
@@ -86,7 +95,13 @@ def main(argv: List[str] = None) -> int:
         apps = common.DEFAULT_APPS
     if args.jobs > 1:
         common.prewarm(apps, scale=args.scale, seed=args.seed, jobs=args.jobs)
-    run_all(apps, args.scale, args.seed)
+    if args.trace:
+        from repro.obs.tracer import tracing
+
+        with tracing(args.trace):
+            run_all(apps, args.scale, args.seed)
+    else:
+        run_all(apps, args.scale, args.seed)
     return 0
 
 

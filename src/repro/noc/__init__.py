@@ -4,21 +4,25 @@ The paper's target platform (Section 2) is an ``M x N`` mesh where each node
 hosts a core, a private L1, and one bank of the shared SNUCA L2.  Data
 movement distance is the Manhattan distance between nodes; this package
 provides that geometry plus the link-level traffic accounting and the latency
-model used by the execution simulator (Figs 18 and 19).
+model used by the execution simulator (Figs 18 and 19), and the
+:class:`~repro.noc.network.LinkStats` heatmap export that decomposes a
+run's data movement onto individual links (see DESIGN.md §8).
 """
 
 from repro.noc.topology import Coord, Mesh2D
-from repro.noc.routing import xy_route_links, xy_route_nodes
+from repro.noc.routing import mesh_links, xy_route_links, xy_route_nodes
 from repro.noc.traffic import Link, TrafficMatrix
-from repro.noc.network import NetworkModel, NetworkParams
+from repro.noc.network import LinkStats, NetworkModel, NetworkParams
 
 __all__ = [
     "Coord",
     "Mesh2D",
+    "mesh_links",
     "xy_route_links",
     "xy_route_nodes",
     "Link",
     "TrafficMatrix",
+    "LinkStats",
     "NetworkModel",
     "NetworkParams",
 ]

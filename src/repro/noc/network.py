@@ -9,8 +9,9 @@ on-chip network latency).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import Dict, List, Mapping
 
+from repro.noc.routing import LinkId
 from repro.noc.topology import Mesh2D
 from repro.noc.traffic import TrafficMatrix
 
@@ -85,5 +86,112 @@ class NetworkModel:
         return len(self._latencies)
 
     def reset(self) -> None:
+        """Clear all recorded traffic and latency statistics."""
         self.traffic.reset()
         self._latencies.clear()
+
+    def link_stats(self) -> "LinkStats":
+        """Snapshot the per-link flit volumes recorded so far."""
+        return LinkStats.from_traffic(self.mesh, self.traffic)
+
+
+@dataclass(frozen=True)
+class LinkStats:
+    """An immutable per-link flit-volume snapshot of one mesh.
+
+    The simulator charges every data message as flit traversals on the
+    directed links of its XY route (:class:`~repro.noc.traffic
+    .TrafficMatrix`), and every data flit-hop is exactly one unit of the
+    paper's ``DataMovement`` metric — so the volumes here *decompose* a
+    run's total data movement onto individual NoC links, which is what
+    lets a Fig-13-style headline number be localized to the mesh rows
+    and columns that actually carry it.
+
+    ``flits`` maps directed ``(src, dst)`` links to flit counts; links
+    with zero traffic are omitted.
+    """
+
+    cols: int
+    rows: int
+    flits: Mapping[LinkId, int]
+
+    @classmethod
+    def from_traffic(cls, mesh: Mesh2D, traffic: TrafficMatrix) -> "LinkStats":
+        """Snapshot a live traffic matrix (copies the counts)."""
+        return cls(mesh.cols, mesh.rows, dict(traffic._flits))
+
+    @classmethod
+    def from_link_flits(
+        cls, cols: int, rows: int, flits: Mapping[LinkId, int]
+    ) -> "LinkStats":
+        """Build from a raw link->flits mapping (e.g. SimMetrics.link_flits)."""
+        return cls(cols, rows, dict(flits))
+
+    def total_flit_hops(self) -> int:
+        """Sum of all per-link volumes (== the run's data movement)."""
+        return sum(self.flits.values())
+
+    def node_throughput(self) -> List[int]:
+        """Per-node flits leaving each node (index = node id).
+
+        Forwarded traffic counts at every router on the route, so hot
+        *through* nodes show up, not just endpoints.
+        """
+        out = [0] * (self.cols * self.rows)
+        for (src, _dst), flits in self.flits.items():
+            out[src] += flits
+        return out
+
+    def to_json(self) -> Dict:
+        """The heatmap as the ``link_heatmap`` object of ``report.json``.
+
+        Links are emitted in sorted (src, dst) order so serialized
+        heatmaps from identical runs compare byte-for-byte.
+        """
+        return {
+            "mesh": {"cols": self.cols, "rows": self.rows},
+            "links": [
+                {"src": src, "dst": dst, "flits": flits}
+                for (src, dst), flits in sorted(self.flits.items())
+            ],
+            "total_flit_hops": self.total_flit_hops(),
+        }
+
+    def ascii_grid(self) -> str:
+        """Render the mesh as an ASCII grid with per-link volumes.
+
+        Nodes print as ``[id]``; the number on each horizontal/vertical
+        edge is the *sum of both directions* on that physical link (the
+        JSON form keeps directions separate).  Example for a 2x2 mesh::
+
+            [  0]--  12--[  1]
+              |           |
+              30           0
+              |           |
+            [  2]--   4--[  3]
+        """
+        def edge(a: int, b: int) -> int:
+            return self.flits.get((a, b), 0) + self.flits.get((b, a), 0)
+
+        lines: List[str] = []
+        cell = 5   # width of a node cell "[ id]"
+        for y in range(self.rows):
+            row_parts: List[str] = []
+            for x in range(self.cols):
+                node = y * self.cols + x
+                row_parts.append(f"[{node:>3}]")
+                if x + 1 < self.cols:
+                    row_parts.append(f"--{edge(node, node + 1):>4}--")
+            lines.append("".join(row_parts))
+            if y + 1 < self.rows:
+                bars: List[str] = []
+                vols: List[str] = []
+                for x in range(self.cols):
+                    node = y * self.cols + x
+                    pad = "" if x == 0 else " " * 8
+                    bars.append(pad + "  |  ")
+                    vols.append(pad + f"{edge(node, node + self.cols):>4} ")
+                lines.append("".join(bars))
+                lines.append("".join(vols))
+                lines.append("".join(bars))
+        return "\n".join(lines)

@@ -16,6 +16,22 @@ from repro.noc.topology import Coord, Mesh2D
 LinkId = Tuple[int, int]
 
 
+def mesh_links(mesh: Mesh2D) -> List[LinkId]:
+    """Every directed link of ``mesh``, sorted by (src, dst).
+
+    A ``cols x rows`` mesh has ``2 * (cols*(rows-1) + rows*(cols-1))``
+    directed links; any link a route can traverse is in this list, so it
+    is the canonical domain for per-link accounting (heatmaps, schema
+    validation of ``report.json``).
+    """
+    links: List[LinkId] = []
+    for src in range(mesh.node_count):
+        for dst in mesh.neighbors(src):
+            links.append((src, dst))
+    links.sort()
+    return links
+
+
 def xy_route_nodes(mesh: Mesh2D, src: int, dst: int) -> List[int]:
     """The node ids visited routing from ``src`` to ``dst`` (inclusive).
 

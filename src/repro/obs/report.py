@@ -1,0 +1,243 @@
+"""Build the machine-readable ``report.json`` for one application run.
+
+:func:`build_report` runs the full default-vs-optimized pipeline for one
+app on the evaluation machine and assembles a single JSON document — the
+chosen plan per nest, window sizes, movement/time/L1/energy deltas versus
+the default placement, the optimized run's per-link NoC heatmap, and
+per-phase wall times — validated against :mod:`repro.obs.schema` before
+being returned.  This is the introspection companion to the figure suite:
+every headline number in EXPERIMENTS.md can be decomposed by reading the
+report of the app that produced it.
+
+Typical entry points::
+
+    python -m repro.cli report ocean --trace /tmp/t.jsonl   # CLI
+    make report APP=ocean                                   # Makefile
+
+    from repro.obs.report import build_report               # API
+    report = build_report("ocean")
+
+The special app name ``"tiny"`` runs the sub-second built-in synthetic
+app on the 4x4 test machine (the same one ``make bench-smoke`` uses), so
+schema checks and smoke tests do not pay for a full workload.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.arch.machine import Machine
+from repro.baselines.default_placement import DefaultPlacement
+from repro.core.partitioner import NdpPartitioner, PartitionConfig, PartitionResult
+from repro.ir.program import Program
+from repro.noc.network import LinkStats
+from repro.obs.schema import REPORT_KIND, REPORT_SCHEMA_VERSION, assert_valid
+from repro.obs.tracer import tracing
+from repro.sim.engine import SimConfig, Simulator
+from repro.sim.metrics import SimMetrics
+
+#: Name accepted by :func:`build_report` for the built-in synthetic app.
+TINY_APP = "tiny"
+
+
+def _factories(
+    app: str, scale: int, seed: int
+) -> Tuple[Callable[[], Machine], Callable[[], Program]]:
+    """(machine_factory, program_factory) for ``app``.
+
+    Real workloads run on the scaled evaluation machine
+    (:func:`repro.experiments.common.paper_machine`); ``"tiny"`` runs the
+    perf harness's built-in two-statement app on the small test machine.
+    """
+    if app == TINY_APP:
+        from repro.arch.knl import small_machine
+        from repro.benchmarks.perf import tiny_app
+
+        return small_machine, tiny_app
+    from repro.experiments.common import paper_machine
+    from repro.workloads import build_workload
+
+    return paper_machine, lambda: build_workload(app, scale, seed)
+
+
+def _machine_info(machine: Machine) -> Dict:
+    """The report's ``machine`` object."""
+    config = machine.config
+    return {
+        "mesh_cols": config.mesh_cols,
+        "mesh_rows": config.mesh_rows,
+        "node_count": machine.mesh.node_count,
+        "l1_capacity": config.l1_capacity,
+        "l2_bank_count": config.l2_bank_count,
+        "cluster_mode": config.cluster_mode.name.lower(),
+        "memory_mode": config.memory_mode.name.lower(),
+    }
+
+
+def _plan_info(partition: PartitionResult) -> Dict:
+    """The report's ``plan`` object (what the compiler chose and why)."""
+    split_plan = [
+        {"nest": nest, "body_index": body_index, "split": bool(split)}
+        for (nest, body_index), split in sorted(partition.split_plan.items())
+    ]
+    movement_by_size = {
+        nest: {str(size): movement for size, movement in sorted(sizes.items())}
+        for nest, sizes in sorted(partition.movement_by_size.items())
+    }
+    accuracy = partition.predictor_accuracy
+    return {
+        "variant_by_nest": dict(sorted(partition.variant_by_nest.items())),
+        "window_sizes": dict(sorted(partition.window_sizes.items())),
+        "split_plan": split_plan,
+        "movement_by_size": movement_by_size,
+        "predicted_movement": partition.movement,
+        "predictor_accuracy": (
+            None if accuracy is None else round(accuracy, 6)
+        ),
+    }
+
+
+def _deltas(default: SimMetrics, optimized: SimMetrics) -> Dict:
+    """Headline default-vs-optimized deltas (the figures' quantities)."""
+    def reduction(base: float, new: float) -> float:
+        return 0.0 if base <= 0 else (base - new) / base
+
+    return {
+        "movement_reduction": reduction(
+            default.data_movement, optimized.data_movement
+        ),
+        "time_reduction": reduction(default.total_cycles, optimized.total_cycles),
+        "l1_improvement": optimized.l1_hit_rate() - default.l1_hit_rate(),
+        "energy_reduction": reduction(default.energy_pj, optimized.energy_pj),
+        "sync_delta": optimized.sync_count - default.sync_count,
+    }
+
+
+def _timed(fn: Callable):
+    started = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - started
+
+
+def build_report(
+    app: str,
+    scale: int = 1,
+    seed: int = 0,
+    trace_file: Optional[str] = None,
+    debug_trace: bool = False,
+    partition_config: Optional[PartitionConfig] = None,
+) -> Dict:
+    """Run ``app`` end to end and return its schema-valid report dict.
+
+    Args:
+        app: a workload name (``repro.cli list``) or ``"tiny"``.
+        scale / seed: workload generation parameters (as everywhere else).
+        trace_file: when given, the whole run is traced to this JSONL file
+            and the path is recorded in the report's ``trace_file`` field.
+        debug_trace: also emit per-instance firehose events (large files).
+        partition_config: override the default :class:`PartitionConfig`.
+
+    The returned dict is validated against :mod:`repro.obs.schema` before
+    being returned, so downstream consumers never see a malformed report.
+    """
+    if trace_file is not None:
+        with tracing(trace_file, debug=debug_trace):
+            return _build(app, scale, seed, trace_file, partition_config)
+    return _build(app, scale, seed, None, partition_config)
+
+
+def _build(
+    app: str,
+    scale: int,
+    seed: int,
+    trace_file: Optional[str],
+    partition_config: Optional[PartitionConfig],
+) -> Dict:
+    machine_factory, program_factory = _factories(app, scale, seed)
+    phases: Dict[str, float] = {}
+
+    program, phases["build"] = _timed(program_factory)
+
+    # Default placement: its own machine, as in the experiment harness.
+    default_machine = machine_factory()
+    default_program = program_factory()
+    placement = DefaultPlacement(default_machine).place(default_program)
+    default_metrics, phases["simulate_default"] = _timed(
+        lambda: Simulator(default_machine, SimConfig()).run(placement.units)
+    )
+
+    optimized_machine = machine_factory()
+    partitioner = NdpPartitioner(
+        optimized_machine, partition_config or PartitionConfig()
+    )
+    partition, phases["partition"] = _timed(lambda: partitioner.partition(program))
+    optimized_machine.mcdram.reset()
+    optimized_metrics, phases["simulate_optimized"] = _timed(
+        lambda: Simulator(optimized_machine, SimConfig()).run(partition.units())
+    )
+
+    heatmap = LinkStats.from_link_flits(
+        optimized_machine.mesh.cols,
+        optimized_machine.mesh.rows,
+        optimized_metrics.link_flits,
+    )
+    report = {
+        "schema_version": REPORT_SCHEMA_VERSION,
+        "kind": REPORT_KIND,
+        "app": app,
+        "scale": scale,
+        "seed": seed,
+        "machine": _machine_info(optimized_machine),
+        "plan": _plan_info(partition),
+        "default": default_metrics.to_dict(),
+        "optimized": optimized_metrics.to_dict(),
+        "deltas": _deltas(default_metrics, optimized_metrics),
+        "link_heatmap": heatmap.to_json(),
+        "phase_seconds": {
+            name: round(seconds, 6) for name, seconds in phases.items()
+        },
+        "trace_file": trace_file,
+    }
+    assert_valid(report)
+    return report
+
+
+def write_report(report: Dict, path: str) -> None:
+    """Serialize ``report`` to ``path`` (stable key order, one trailing NL)."""
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def heatmap_of(report: Dict) -> LinkStats:
+    """Rebuild a :class:`LinkStats` from a report's ``link_heatmap``."""
+    heatmap = report["link_heatmap"]
+    flits = {
+        (link["src"], link["dst"]): link["flits"] for link in heatmap["links"]
+    }
+    return LinkStats.from_link_flits(
+        heatmap["mesh"]["cols"], heatmap["mesh"]["rows"], flits
+    )
+
+
+def summary_lines(report: Dict) -> List[str]:
+    """Human-readable digest of a report (printed by ``repro.cli report``)."""
+    deltas = report["deltas"]
+    plan = report["plan"]
+    lines = [
+        f"app: {report['app']}  (scale={report['scale']} seed={report['seed']})",
+        f"movement reduction : {deltas['movement_reduction']:+.1%}",
+        f"time reduction     : {deltas['time_reduction']:+.1%}",
+        f"L1 improvement     : {deltas['l1_improvement']:+.3f}",
+        f"energy reduction   : {deltas['energy_reduction']:+.1%}",
+        f"plan variants      : {plan['variant_by_nest']}",
+        f"window sizes       : {plan['window_sizes']}",
+        "phase seconds      : "
+        + "  ".join(
+            f"{name}={seconds:.2f}"
+            for name, seconds in report["phase_seconds"].items()
+        ),
+    ]
+    return lines

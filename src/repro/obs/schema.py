@@ -1,0 +1,272 @@
+"""The versioned, machine-readable ``report.json`` schema.
+
+``repro.cli report <app>`` (and :func:`repro.obs.report.build_report`)
+emit one JSON document per application run.  This module is the schema's
+single source of truth: the structure below is what consumers (CI checks,
+regression dashboards, the golden-file tests) may rely on, and
+:func:`validate_report` checks a document against it with no third-party
+dependencies.  Bump :data:`REPORT_SCHEMA_VERSION` on any breaking change
+and keep the old fields readable for one version.
+
+Schema (version 1)::
+
+    {
+      "schema_version": 1,
+      "kind": "repro.report",
+      "app": "ocean", "scale": 1, "seed": 0,
+      "machine": {
+        "mesh_cols": 6, "mesh_rows": 6, "node_count": 36,
+        "l1_capacity": 8192, "l2_bank_count": 32,
+        "cluster_mode": "quadrant", "memory_mode": "flat"
+      },
+      "plan": {
+        "variant_by_nest":  {"<nest>": "star|profile|split|override"},
+        "window_sizes":     {"<nest>": 3},
+        "split_plan":       [{"nest": "...", "body_index": 0, "split": true}],
+        "movement_by_size": {"<nest>": {"1": 512, "2": 498, ...}},
+        "predicted_movement": 1234,
+        "predictor_accuracy": 0.87            # or null
+      },
+      "default":   { ...SimMetrics.to_dict()... },
+      "optimized": { ...SimMetrics.to_dict()... },
+      "deltas": {
+        "movement_reduction": 0.31,   # fractional, Fig 13's quantity
+        "time_reduction": 0.67,       # Fig 17's quantity
+        "l1_improvement": -0.02,      # absolute hit-rate delta, Fig 16
+        "energy_reduction": 0.25,     # Fig 24's quantity
+        "sync_delta": -120            # optimized - default sync count
+      },
+      "link_heatmap": {                        # optimized run's NoC load
+        "mesh": {"cols": 6, "rows": 6},
+        "links": [{"src": 0, "dst": 1, "flits": 42}, ...],
+        "total_flit_hops": 1234        # == optimized.data_movement
+      },
+      "phase_seconds": {"build": ..., "partition": ...,
+                        "simulate_default": ..., "simulate_optimized": ...},
+      "trace_file": "/tmp/t.jsonl"     # or null
+    }
+
+Invariants (checked by :func:`validate_report` beyond field types):
+
+* ``link_heatmap.total_flit_hops`` equals the sum of the per-link flit
+  volumes **and** equals ``optimized.data_movement`` — the heatmap is an
+  exact decomposition of the paper's headline metric onto mesh links;
+* every link's endpoints are valid, distinct, mesh-adjacent node ids.
+
+Validate from the command line (exit code 0 = valid)::
+
+    python -m repro.obs.schema report.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, Dict, List
+
+REPORT_SCHEMA_VERSION = 1
+REPORT_KIND = "repro.report"
+
+#: field name -> required python type(s), for the flat top-level checks.
+_TOP_LEVEL: Dict[str, Any] = {
+    "schema_version": int,
+    "kind": str,
+    "app": str,
+    "scale": int,
+    "seed": int,
+    "machine": dict,
+    "plan": dict,
+    "default": dict,
+    "optimized": dict,
+    "deltas": dict,
+    "link_heatmap": dict,
+    "phase_seconds": dict,
+}
+
+_MACHINE_FIELDS = {
+    "mesh_cols": int,
+    "mesh_rows": int,
+    "node_count": int,
+    "l1_capacity": int,
+    "l2_bank_count": int,
+    "cluster_mode": str,
+    "memory_mode": str,
+}
+
+_PLAN_FIELDS = {
+    "variant_by_nest": dict,
+    "window_sizes": dict,
+    "split_plan": list,
+    "movement_by_size": dict,
+    "predicted_movement": int,
+}
+
+_DELTA_FIELDS = (
+    "movement_reduction",
+    "time_reduction",
+    "l1_improvement",
+    "energy_reduction",
+    "sync_delta",
+)
+
+_METRIC_FIELDS = (
+    "total_cycles",
+    "data_movement",
+    "l1_hit_rate",
+    "l2_hit_rate",
+    "sync_count",
+    "energy_pj",
+)
+
+_PHASES = ("build", "partition", "simulate_default", "simulate_optimized")
+
+
+def _check_fields(
+    obj: Dict[str, Any], spec: Dict[str, Any], where: str, errors: List[str]
+) -> None:
+    for name, kind in spec.items():
+        if name not in obj:
+            errors.append(f"{where}: missing field {name!r}")
+        elif not isinstance(obj[name], kind) or isinstance(obj[name], bool):
+            errors.append(
+                f"{where}.{name}: expected {kind.__name__}, "
+                f"got {type(obj[name]).__name__}"
+            )
+
+
+def validate_report(report: Any) -> List[str]:
+    """Check ``report`` against schema version 1; returns error strings.
+
+    An empty list means the document is valid.  Checks structure, field
+    types, and the cross-field invariants documented in the module
+    docstring (heatmap sums, link endpoint sanity).
+    """
+    errors: List[str] = []
+    if not isinstance(report, dict):
+        return [f"report: expected a JSON object, got {type(report).__name__}"]
+    _check_fields(report, _TOP_LEVEL, "report", errors)
+    if errors:
+        return errors
+
+    if report["schema_version"] != REPORT_SCHEMA_VERSION:
+        errors.append(
+            f"report.schema_version: expected {REPORT_SCHEMA_VERSION}, "
+            f"got {report['schema_version']!r}"
+        )
+    if report["kind"] != REPORT_KIND:
+        errors.append(f"report.kind: expected {REPORT_KIND!r}")
+
+    _check_fields(report["machine"], _MACHINE_FIELDS, "machine", errors)
+    _check_fields(report["plan"], _PLAN_FIELDS, "plan", errors)
+
+    for entry in report["plan"].get("split_plan", []):
+        if not isinstance(entry, dict) or not (
+            isinstance(entry.get("nest"), str)
+            and isinstance(entry.get("body_index"), int)
+            and isinstance(entry.get("split"), bool)
+        ):
+            errors.append(f"plan.split_plan: malformed entry {entry!r}")
+
+    for side in ("default", "optimized"):
+        metrics = report[side]
+        for name in _METRIC_FIELDS:
+            if name not in metrics:
+                errors.append(f"{side}: missing metric {name!r}")
+            elif not isinstance(metrics[name], (int, float)):
+                errors.append(f"{side}.{name}: expected a number")
+
+    for name in _DELTA_FIELDS:
+        if name not in report["deltas"]:
+            errors.append(f"deltas: missing field {name!r}")
+        elif not isinstance(report["deltas"][name], (int, float)):
+            errors.append(f"deltas.{name}: expected a number")
+
+    for name in _PHASES:
+        if name not in report["phase_seconds"]:
+            errors.append(f"phase_seconds: missing phase {name!r}")
+        elif not isinstance(report["phase_seconds"][name], (int, float)):
+            errors.append(f"phase_seconds.{name}: expected a number")
+
+    errors.extend(_validate_heatmap(report))
+    return errors
+
+
+def _validate_heatmap(report: Dict[str, Any]) -> List[str]:
+    """The heatmap's structural and accounting invariants."""
+    errors: List[str] = []
+    heatmap = report["link_heatmap"]
+    mesh = heatmap.get("mesh")
+    if not isinstance(mesh, dict) or not (
+        isinstance(mesh.get("cols"), int) and isinstance(mesh.get("rows"), int)
+    ):
+        return ["link_heatmap.mesh: expected {cols: int, rows: int}"]
+    links = heatmap.get("links")
+    if not isinstance(links, list):
+        return ["link_heatmap.links: expected a list"]
+    node_count = mesh["cols"] * mesh["rows"]
+    total = 0
+    for link in links:
+        if not isinstance(link, dict) or not all(
+            isinstance(link.get(k), int) for k in ("src", "dst", "flits")
+        ):
+            errors.append(f"link_heatmap.links: malformed link {link!r}")
+            continue
+        src, dst = link["src"], link["dst"]
+        if not (0 <= src < node_count and 0 <= dst < node_count) or src == dst:
+            errors.append(f"link_heatmap.links: bad endpoints {src}->{dst}")
+        else:
+            sx, sy = src % mesh["cols"], src // mesh["cols"]
+            dx, dy = dst % mesh["cols"], dst // mesh["cols"]
+            if abs(sx - dx) + abs(sy - dy) != 1:
+                errors.append(
+                    f"link_heatmap.links: {src}->{dst} is not a mesh link"
+                )
+        total += link["flits"]
+    declared = heatmap.get("total_flit_hops")
+    if not isinstance(declared, int):
+        errors.append("link_heatmap.total_flit_hops: expected an int")
+    else:
+        if declared != total:
+            errors.append(
+                f"link_heatmap: link volumes sum to {total}, "
+                f"declared total is {declared}"
+            )
+        movement = report["optimized"].get("data_movement")
+        if isinstance(movement, (int, float)) and declared != movement:
+            errors.append(
+                f"link_heatmap: total {declared} != optimized data "
+                f"movement {movement} — the heatmap must decompose it"
+            )
+    return errors
+
+
+def assert_valid(report: Any) -> None:
+    """Raise ``ValueError`` listing every schema violation (if any)."""
+    errors = validate_report(report)
+    if errors:
+        raise ValueError("invalid report.json:\n  " + "\n  ".join(errors))
+
+
+def main(argv: List[str] = None) -> int:
+    """CLI: validate report files; prints errors, exits non-zero on any."""
+    paths = argv if argv is not None else sys.argv[1:]
+    if not paths:
+        print("usage: python -m repro.obs.schema report.json [...]")
+        return 2
+    status = 0
+    for path in paths:
+        with open(path) as fh:
+            report = json.load(fh)
+        errors = validate_report(report)
+        if errors:
+            status = 1
+            print(f"{path}: INVALID")
+            for error in errors:
+                print(f"  {error}")
+        else:
+            print(f"{path}: ok (schema v{report['schema_version']})")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -26,8 +26,14 @@ from repro.cache.hierarchy import CacheSystem
 from repro.core.subcomputation import Subcomputation
 from repro.errors import SimulationError
 from repro.noc.network import NetworkModel, NetworkParams
+from repro.obs.tracer import get_tracer
 from repro.sim.energy import EnergyModel, EnergyParams
 from repro.sim.metrics import SimMetrics
+
+#: With tracing enabled, the engine emits a ``sim.epoch`` counter snapshot
+#: every this many completed units (units & (EPOCH-1) == 0, so keep it a
+#: power of two).  Purely observational; no simulation state depends on it.
+TRACE_EPOCH_UNITS = 4096
 
 
 @dataclass(frozen=True)
@@ -205,10 +211,18 @@ class Simulator:
     # -- main loop --------------------------------------------------------------
 
     def run(self, units: Sequence[Subcomputation]) -> SimMetrics:
-        """Simulate ``units``; returns the filled :class:`SimMetrics`."""
+        """Simulate ``units``; returns the filled :class:`SimMetrics`.
+
+        With tracing enabled (:mod:`repro.obs`), the run is wrapped in a
+        ``sim.run`` span with periodic ``sim.epoch`` counter snapshots;
+        tracing reads counters only and never alters the simulation.
+        """
         metrics = SimMetrics()
         if not units:
             return metrics
+        tracer = get_tracer()
+        trace_on = tracer.enabled
+        sim_span = tracer.span("sim.run", units=len(units)) if trace_on else None
         by_uid: Dict[int, Subcomputation] = {u.uid: u for u in units}
         if len(by_uid) != len(units):
             raise SimulationError("duplicate subcomputation uids in schedule")
@@ -334,6 +348,17 @@ class Simulator:
             metrics.op_count += unit.op_count
             metrics.compute_cycles += compute_time
             processed += 1
+            if trace_on and not processed % TRACE_EPOCH_UNITS:
+                tracer.point(
+                    "sim.epoch",
+                    units=processed,
+                    movement=metrics.data_movement,
+                    l1_hits=metrics.l1_hits,
+                    l1_misses=metrics.l1_misses,
+                    l2_hits=metrics.l2_hits,
+                    l2_misses=metrics.l2_misses,
+                    syncs=metrics.sync_count,
+                )
 
             for successor in succs[uid]:
                 indegree[successor] -= 1
@@ -365,6 +390,17 @@ class Simulator:
         )
         metrics.energy_breakdown = breakdown
         metrics.energy_pj = breakdown["total"]
+        metrics.link_flits = dict(self.network.traffic._flits)
+        if sim_span is not None:
+            sim_span.add(
+                cycles=metrics.total_cycles,
+                movement=metrics.data_movement,
+                l1_hit_rate=round(metrics.l1_hit_rate(), 6),
+                l2_hit_rate=round(metrics.l2_hit_rate(), 6),
+                syncs=metrics.sync_count,
+                energy_pj=metrics.energy_pj,
+            )
+            sim_span.end()
         return metrics
 
 

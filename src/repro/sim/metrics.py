@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 
 @dataclass
@@ -44,31 +44,76 @@ class SimMetrics:
     # so the simulator's hot message path can `+=` without a get() probe
     movement_by_seq: Dict[int, int] = field(default_factory=lambda: defaultdict(int))
 
+    # per-link flit volumes, (src, dst) -> flits, snapshotted from the
+    # network's traffic matrix when the run finishes; the values sum to
+    # data_movement (every data flit-hop is one unit of the paper's metric)
+    link_flits: Dict[Tuple[int, int], int] = field(default_factory=dict)
+
     def l1_hit_rate(self) -> float:
+        """L1 hits / (hits + misses); 0.0 when no accesses ran."""
         total = self.l1_hits + self.l1_misses
         return self.l1_hits / total if total else 0.0
 
     def l2_hit_rate(self) -> float:
+        """L2 hits / (hits + misses); 0.0 when no accesses ran."""
         total = self.l2_hits + self.l2_misses
         return self.l2_hits / total if total else 0.0
 
     def movement_per_statement(self) -> List[int]:
+        """Per-statement movement totals keyed by statement seq."""
         return [self.movement_by_seq[k] for k in sorted(self.movement_by_seq)]
 
     def average_movement_per_statement(self) -> float:
+        """Mean movement over all statements (0.0 when empty)."""
         values = self.movement_per_statement()
         return sum(values) / len(values) if values else 0.0
 
     def max_movement_per_statement(self) -> int:
+        """Largest single statement's movement (0 when empty)."""
         values = self.movement_per_statement()
         return max(values) if values else 0
 
     def syncs_per_statement(self) -> float:
+        """Average synchronizations per executed statement."""
         if not self.statement_count:
             return 0.0
         return self.sync_count / self.statement_count
 
+    def to_dict(self) -> Dict:
+        """JSON-safe snapshot of every scalar counter plus derived rates.
+
+        Used by the ``report.json`` emitter (see :mod:`repro.obs.schema`);
+        the per-seq movement map and the per-link flit map are exported
+        separately (the latter as the report's ``link_heatmap``), so this
+        dict stays small and flat.
+        """
+        return {
+            "total_cycles": self.total_cycles,
+            "unit_count": self.unit_count,
+            "statement_count": self.statement_count,
+            "l1_hits": self.l1_hits,
+            "l1_misses": self.l1_misses,
+            "l2_hits": self.l2_hits,
+            "l2_misses": self.l2_misses,
+            "l1_hit_rate": self.l1_hit_rate(),
+            "l2_hit_rate": self.l2_hit_rate(),
+            "memory_accesses": self.memory_accesses,
+            "memory_cycles": self.memory_cycles,
+            "data_movement": self.data_movement,
+            "network_messages": self.network_messages,
+            "network_avg_latency": self.network_avg_latency,
+            "network_max_latency": self.network_max_latency,
+            "max_link_load": self.max_link_load,
+            "op_count": self.op_count,
+            "compute_cycles": self.compute_cycles,
+            "sync_count": self.sync_count,
+            "sync_wait_cycles": self.sync_wait_cycles,
+            "energy_pj": self.energy_pj,
+            "energy_breakdown": dict(self.energy_breakdown),
+        }
+
     def summary(self) -> str:
+        """One-line human-readable digest of the run's headline counters."""
         return (
             f"cycles={self.total_cycles:.0f} movement={self.data_movement} "
             f"L1={self.l1_hit_rate():.3f} L2={self.l2_hit_rate():.3f} "
