@@ -6,11 +6,21 @@ JOBS ?= 1
 BENCH_OUT ?= BENCH_compile.json
 APP ?= ocean
 REPORT_OUT ?= report.json
+COV_MIN ?= 70
 
-.PHONY: test bench bench-smoke quick report report-smoke
+.PHONY: test lint cov bench bench-smoke bench-regression quick report \
+	report-smoke faults-demo
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Static checks (requires ruff, part of the [dev] extra; config in pyproject).
+lint:
+	$(PYTHON) -m ruff check src tests
+
+# Coverage gate (requires pytest-cov): fails under COV_MIN percent.
+cov:
+	$(PYTHON) -m pytest -q --cov=repro --cov-report=term --cov-fail-under=$(COV_MIN)
 
 # Time compile (partition/window-search) + simulate per app -> BENCH_compile.json
 bench:
@@ -34,3 +44,14 @@ report:
 report-smoke:
 	$(PYTHON) -m repro.cli report tiny --out report_smoke.json --trace trace_smoke.jsonl
 	$(PYTHON) -m repro.obs.schema report_smoke.json
+
+# CI's bench-regression gate: measure the smoke subset, compare vs the
+# committed baseline with a generous wall-time tolerance.
+bench-regression:
+	$(PYTHON) -m repro.benchmarks.perf --smoke --out BENCH_fresh.json
+	$(PYTHON) -m repro.benchmarks.regression --baseline $(BENCH_OUT) --fresh BENCH_fresh.json
+
+# Fault-injection demo: seeded random plan -> degraded run -> detour heatmap.
+faults-demo:
+	$(PYTHON) -m repro.cli faults --plan-out fault_plan_demo.json --out report_faults_demo.json
+	$(PYTHON) -m repro.obs.schema report_faults_demo.json

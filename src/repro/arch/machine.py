@@ -14,7 +14,7 @@ partitioner asks:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -22,9 +22,11 @@ import numpy as np
 from repro.arch.cluster_modes import ClusterMode
 from repro.arch.memory_modes import McdramModel, MemoryMode
 from repro.cache.sram import CacheConfig
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, FaultError
+from repro.faults.plan import FaultPlan
 from repro.mem.address import AddressMapping
 from repro.mem.layout import DataLayout
+from repro.noc.routing import Router
 from repro.noc.topology import Coord, Mesh2D
 
 
@@ -90,6 +92,17 @@ class Machine:
             line_size=config.line_size,
         )
         self._access_profile: Dict[str, float] = {}
+        # -- fault / degradation state -------------------------------------
+        # ``faults`` is the applied FaultPlan (None = pristine machine);
+        # ``router`` computes (detour) routes and is shared by the NoC
+        # accounting and the simulator.  ``_dead_nodes`` holds every tile
+        # the plan ever kills (static or mid-run): placement and bank
+        # homing avoid them all, so only schedules compiled *without* the
+        # plan can ever need the simulator's relocation path.
+        self.faults: Optional[FaultPlan] = None
+        self.router = Router(self.mesh)
+        self._dead_nodes: frozenset = frozenset()
+        self._channel_degrade: Dict[int, float] = {}
         # -- location-map caches -------------------------------------------
         # Per-array home-node and MC-node maps (index order, plain int
         # lists for fast scalar lookup plus NumPy twins for vector math).
@@ -123,6 +136,104 @@ class Machine:
         self._access_profile = dict(access_counts)
         array_bytes = {s.name: s.byte_size for s in self.layout.arrays()}
         self.mcdram.place_flat(array_bytes, self._access_profile)
+
+    # -- fault injection & graceful degradation -------------------------------
+
+    def apply_faults(self, plan: FaultPlan) -> None:
+        """Degrade this machine according to ``plan`` (DESIGN.md section 9).
+
+        Validates the plan against the mesh, re-homes L2 banks off dead
+        tiles (nearest healthy tile, deterministic ties by node id), wires
+        the static link/node faults into the fault-aware router, and
+        records per-channel memory latency multipliers.  Placement helpers
+        (:meth:`alive_nodes`) exclude every tile the plan ever kills, so a
+        schedule compiled on the degraded machine places nothing on
+        offline nodes.  Mid-run faults (``at_unit > 0``) are activated by
+        the simulator, which also relocates stranded subcomputations.
+
+        Applying an **empty** plan is a no-op: the machine stays
+        bit-identical to a pristine one.
+        """
+        if self.faults is not None:
+            raise FaultError("a fault plan is already applied to this machine")
+        self._validate_plan(plan)
+        if plan.is_empty:
+            return
+        self.faults = plan
+        self._dead_nodes = plan.all_dead_nodes()
+        self._channel_degrade = plan.channel_factors()
+        self.router.set_faults(plan.static_dead_links(), plan.static_dead_nodes())
+        self._rehome_banks()
+
+    def _validate_plan(self, plan: FaultPlan) -> None:
+        mesh = self.mesh
+        for fault in plan.nodes:
+            if not 0 <= fault.node < mesh.node_count:
+                raise FaultError(f"fault plan kills unknown tile {fault.node}")
+        for fault in plan.links:
+            for end in (fault.src, fault.dst):
+                if not 0 <= end < mesh.node_count:
+                    raise FaultError(f"fault plan kills unknown link endpoint {end}")
+            if mesh.distance(fault.src, fault.dst) != 1:
+                raise FaultError(
+                    f"fault plan kills {fault.src}->{fault.dst}, "
+                    "which is not a mesh link"
+                )
+        for degrade in plan.channels:
+            if not 0 <= degrade.channel < self.config.mc_channel_count:
+                raise FaultError(
+                    f"fault plan degrades unknown channel {degrade.channel}"
+                )
+            if degrade.latency_factor < 1.0:
+                raise FaultError(
+                    f"channel {degrade.channel} latency factor "
+                    f"{degrade.latency_factor} must be >= 1.0"
+                )
+        dead = plan.all_dead_nodes()
+        protected = set(self.mc_nodes) | set(self.edc_nodes)
+        hit = sorted(dead & protected)
+        if hit:
+            raise FaultError(
+                f"fault plan kills controller tiles {hit} (corner MCs and "
+                "edge EDCs must stay online; degrade their channels instead)"
+            )
+        # The *fully* degraded machine (every fault active) must stay
+        # connected, else some surviving tile could never be reached.
+        probe = Router(mesh, plan.all_dead_links(), dead)
+        probe.check_connected()
+
+    def _rehome_banks(self) -> None:
+        """Move L2 banks off dead tiles onto the nearest healthy ones."""
+        alive = self.alive_nodes()
+        if not alive:
+            raise FaultError("fault plan kills every tile")
+        distance = self.mesh.distance
+        rehomed = []
+        for bank, node in enumerate(self.bank_to_node):
+            if node in self._dead_nodes:
+                node = min(alive, key=lambda n: (distance(self.bank_to_node[bank], n), n))
+            rehomed.append(node)
+        self.bank_to_node = rehomed
+        # Every cached location map embedded the old bank homes.
+        self._home_lists.clear()
+        self._home_arrays.clear()
+        self._mc_lists.clear()
+        self._quad_remap = None
+
+    def alive_nodes(self) -> List[int]:
+        """Tiles never killed by the applied plan (all tiles when pristine)."""
+        dead = self._dead_nodes
+        if not dead:
+            return list(range(self.node_count))
+        return [n for n in range(self.node_count) if n not in dead]
+
+    def is_node_alive(self, node: int) -> bool:
+        return node not in self._dead_nodes
+
+    @property
+    def dead_nodes(self) -> frozenset:
+        """Every tile the applied plan kills at any point of the run."""
+        return self._dead_nodes
 
     # -- geometry ------------------------------------------------------------
 
@@ -282,9 +393,18 @@ class Machine:
         return self._corner_by_quadrant
 
     def memory_access_cycles(self, name: str, index: int) -> float:
-        """DRAM-side latency of a miss on ``name[index]`` (mode dependent)."""
+        """DRAM-side latency of a miss on ``name[index]`` (mode dependent).
+
+        A degraded memory channel (fault plan) multiplies the healthy
+        latency by its configured factor.
+        """
         block = self.layout.block_of(name, index)
-        return self.mcdram.access_cycles(name, block)
+        cycles = self.mcdram.access_cycles(name, block)
+        if self._channel_degrade:
+            factor = self._channel_degrade.get(self.layout.channel_of(name, index))
+            if factor is not None:
+                cycles *= factor
+        return cycles
 
     def memory_access_energy_pj(self, name: str) -> float:
         return self.mcdram.access_energy_pj(name)
@@ -331,7 +451,15 @@ class Machine:
         )
         if not self.mesh.contains(new):  # odd dimensions edge case
             new = Coord(min(new.x, self.mesh.cols - 1), min(new.y, self.mesh.rows - 1))
-        return self.mesh.id_of(new)
+        node_id = self.mesh.id_of(new)
+        if node_id in self._dead_nodes:
+            # SNC-4 projection landed on an offline tile; home on the
+            # nearest healthy tile instead (deterministic ties by id).
+            distance = self.mesh.distance
+            node_id = min(
+                self.alive_nodes(), key=lambda n: (distance(node_id, n), n)
+            )
+        return node_id
 
     def __repr__(self) -> str:
         return (

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Set
+from typing import Dict, Set
 
 from repro.mem.dram import DDR4_PARAMS, MCDRAM_PARAMS, DramParams
 

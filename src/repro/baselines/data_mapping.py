@@ -10,7 +10,7 @@ Figure 23) and combined with our computation mapping (third bar).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Sequence, Tuple
+from typing import Dict, Sequence
 
 from repro.arch.machine import Machine
 from repro.core.subcomputation import Subcomputation

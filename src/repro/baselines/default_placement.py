@@ -15,11 +15,11 @@ execution model our partitioner is compared against everywhere.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
 
 from repro.arch.machine import Machine
-from repro.core.balancer import OP_COSTS, op_cost
+from repro.core.balancer import op_cost
 from repro.core.subcomputation import GatheredInput, Subcomputation
 from repro.ir.loop import LoopNest
 from repro.ir.program import Program
@@ -101,8 +101,9 @@ class DefaultPlacement:
     ) -> List[List[int]]:
         """Per chunk, nodes ranked by referenced-data residency (profile)."""
         machine = self.machine
-        node_count = machine.node_count
-        chunk_count = min(node_count, max(nest.trip_count, 1))
+        # Offline tiles (fault plan) execute nothing: rank only live nodes.
+        alive = machine.alive_nodes()
+        chunk_count = min(len(alive), max(nest.trip_count, 1))
         counts = [dict() for _ in range(chunk_count)]  # type: List[Dict[int, int]]
         trip = nest.trip_count
         for i, instance in enumerate(program.nest_instances(nest)):
@@ -114,7 +115,7 @@ class DefaultPlacement:
         preferences = []
         for chunk_counts in counts:
             ranked = sorted(
-                range(node_count),
+                alive,
                 key=lambda n: (-chunk_counts.get(n, 0), n),
             )
             preferences.append(ranked)
@@ -123,7 +124,8 @@ class DefaultPlacement:
     def _assign_chunks(self, preferences: List[List[int]]) -> List[int]:
         """Greedy profile assignment with a soft per-node load cap."""
         chunk_count = len(preferences)
-        cap = max(1, int(self.load_cap_factor * chunk_count / self.machine.node_count))
+        alive_count = len(self.machine.alive_nodes())
+        cap = max(1, int(self.load_cap_factor * chunk_count / alive_count))
         load = [0] * self.machine.node_count
         assignment = []
         for ranked in preferences:

@@ -1,7 +1,8 @@
 """Compile/simulate timing harness.
 
-``python -m repro.benchmarks.perf [--apps a,b | --tiny] [--out FILE]
-[--trace FILE]`` times each pipeline phase per application — workload build, NDP
+``python -m repro.benchmarks.perf [--apps a,b | --tiny | --smoke]
+[--out FILE] [--trace FILE]`` times each pipeline phase per application
+— workload build, NDP
 partitioning (the compile step, including the window-size search),
 default-placement simulation, and optimized simulation — and writes the
 results to ``BENCH_compile.json``.
@@ -24,15 +25,19 @@ The JSON schema (version 1):
 small 4x4 machine instead of paper workloads; it finishes in well under
 a second, so the smoke test in ``tests/test_perf_harness.py`` (and
 ``make bench-smoke``) can validate the harness inside tier 1.
+
+``--smoke`` benchmarks the :data:`SMOKE_APPS` subset of real workloads
+(the apps recorded in the committed ``BENCH_compile.json`` baseline) —
+what CI's bench-regression job runs and then compares with
+:mod:`repro.benchmarks.regression`.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
-import sys
 import time
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional
 
 from repro.arch.knl import small_machine
 from repro.arch.machine import Machine
@@ -46,6 +51,10 @@ from repro.sim.engine import SimConfig, Simulator
 
 SCHEMA_VERSION = 1
 PHASES = ("build", "partition", "simulate_default", "simulate_optimized")
+
+#: Real-workload subset benchmarked by ``--smoke`` (matches the committed
+#: BENCH_compile.json baseline that CI's regression check compares against).
+SMOKE_APPS = ("barnes", "cholesky", "minimd")
 
 
 def tiny_app() -> Program:
@@ -158,6 +167,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="benchmark the built-in tiny synthetic app on the small machine",
     )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=f"benchmark the CI regression subset: {', '.join(SMOKE_APPS)}",
+    )
     parser.add_argument("--scale", type=int, default=1)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
@@ -176,12 +190,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    if args.tiny and args.apps:
-        parser.error("--tiny and --apps are mutually exclusive")
+    if sum(bool(flag) for flag in (args.tiny, args.smoke, args.apps)) > 1:
+        parser.error("--tiny, --smoke, and --apps are mutually exclusive")
     if args.tiny:
         apps = ["tiny"]
+    elif args.smoke:
+        apps = list(SMOKE_APPS)
     elif args.apps:
         apps = [a.strip() for a in args.apps.split(",") if a.strip()]
+        from repro.workloads import ALL_WORKLOAD_NAMES
+
+        unknown = [a for a in apps if a not in ALL_WORKLOAD_NAMES]
+        if unknown:
+            parser.error(
+                f"unknown app name(s): {', '.join(unknown)}; "
+                f"known apps: {', '.join(ALL_WORKLOAD_NAMES)}"
+            )
     else:
         from repro.experiments.common import DEFAULT_APPS
 

@@ -1,0 +1,112 @@
+"""Bench-regression gate: compare a fresh perf run against the baseline.
+
+``python -m repro.benchmarks.regression --baseline BENCH_compile.json
+--fresh BENCH_fresh.json [--tolerance 3.0]`` compares per-app
+``total_seconds`` between a committed baseline (produced by
+:mod:`repro.benchmarks.perf`) and a freshly measured run.  An app
+*regresses* when its fresh total exceeds ``tolerance x`` its baseline
+total; any regression (or an app missing from the fresh run) prints a
+clear verdict line and exits 1, which is what fails CI's
+``bench-regression`` job.
+
+The default tolerance is deliberately generous (3x): shared CI runners
+have noisy wall clocks, and this gate exists to catch order-of-magnitude
+algorithmic regressions (an accidentally quadratic search, a dropped
+cache), not a few percent of jitter.  Apps present only in the fresh run
+are reported but never fail the gate, so the baseline can trail the app
+list without blocking.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional
+
+#: Fresh total may be up to this multiple of baseline before failing.
+DEFAULT_TOLERANCE = 3.0
+
+
+def _totals(payload: Dict) -> Dict[str, float]:
+    """app name -> total_seconds from one BENCH_compile.json payload."""
+    return {
+        entry["app"]: float(entry["total_seconds"])
+        for entry in payload.get("apps", [])
+    }
+
+
+def compare(
+    baseline: Dict, fresh: Dict, tolerance: float = DEFAULT_TOLERANCE
+) -> List[str]:
+    """Regression messages (empty = pass) comparing two bench payloads."""
+    problems: List[str] = []
+    baseline_totals = _totals(baseline)
+    fresh_totals = _totals(fresh)
+    for app, base_seconds in sorted(baseline_totals.items()):
+        if app not in fresh_totals:
+            problems.append(f"{app}: present in baseline but not benchmarked")
+            continue
+        fresh_seconds = fresh_totals[app]
+        limit = tolerance * base_seconds
+        if fresh_seconds > limit:
+            problems.append(
+                f"{app}: {fresh_seconds:.2f}s exceeds {tolerance:.1f}x "
+                f"baseline {base_seconds:.2f}s (limit {limit:.2f}s)"
+            )
+    return problems
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--baseline",
+        default="BENCH_compile.json",
+        help="committed baseline JSON (default: BENCH_compile.json)",
+    )
+    parser.add_argument(
+        "--fresh", required=True, help="freshly measured perf JSON"
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="allowed fresh/baseline wall-time ratio (default %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+    with open(args.fresh) as fh:
+        fresh = json.load(fh)
+
+    baseline_totals = _totals(baseline)
+    fresh_totals = _totals(fresh)
+    for app in sorted(set(baseline_totals) | set(fresh_totals)):
+        base = baseline_totals.get(app)
+        new = fresh_totals.get(app)
+        if base is None:
+            print(f"{app:>12}  (no baseline)  fresh={new:.2f}s")
+        elif new is None:
+            print(f"{app:>12}  baseline={base:.2f}s  (not benchmarked)")
+        else:
+            print(
+                f"{app:>12}  baseline={base:.2f}s  fresh={new:.2f}s  "
+                f"ratio={new / base:.2f}x"
+            )
+
+    problems = compare(baseline, fresh, args.tolerance)
+    if problems:
+        print(
+            f"\nbench regression (tolerance {args.tolerance:.1f}x):",
+            file=sys.stderr,
+        )
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
+    print(f"\nok: no app exceeds {args.tolerance:.1f}x its baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,7 +11,7 @@ model is judged against.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.cache.sram import CacheConfig, SetAssocCache
 from repro.errors import ConfigurationError

@@ -9,12 +9,21 @@ Subcommands:
 * ``codegen APP``   — show the generated per-node code for a few windows.
 * ``experiments``   — run the full table/figure suite (see
   :mod:`repro.experiments.runner` for flags).
+* ``faults``        — fault-injection demo: generate a seeded random
+  :class:`~repro.faults.FaultPlan`, run an app on the degraded machine,
+  and print the plan, the degradation overheads, and the detour heatmap.
 * ``list``          — list the available workloads.
 
 ``compare``, ``report``, and ``experiments`` accept ``--trace FILE`` to
 stream structured JSONL trace events (compile spans, gate verdicts,
 window-search candidates, simulator epochs) to ``FILE``; see
 :mod:`repro.obs.tracer`.  Tracing never changes any printed number.
+
+``compare`` and ``report`` accept ``--faults PLAN.json`` to run on a
+degraded machine (dead links / offline tiles / slow MCDRAM channels);
+see :mod:`repro.faults`.  Library errors (unknown workload, invalid
+fault plan, ...) print one clear message to stderr and exit 2 instead
+of tracebacking.
 """
 
 from __future__ import annotations
@@ -24,7 +33,9 @@ import sys
 from typing import List
 
 from repro.core.codegen import generate_code
+from repro.errors import ReproError
 from repro.experiments.common import compare_app
+from repro.faults import FaultPlan
 from repro.workloads import ALL_WORKLOAD_NAMES, workload_specs
 
 
@@ -45,6 +56,15 @@ def _traced(args, fn) -> int:
         return fn()
 
 
+def _fault_plan_of(args):
+    """The FaultPlan of ``--faults FILE`` (None when absent/empty)."""
+    path = getattr(args, "faults", "")
+    if not path:
+        return None
+    plan = FaultPlan.load(path)
+    return None if plan.is_empty else plan
+
+
 def _cmd_compare(args) -> int:
     return _traced(args, lambda: _run_compare(args))
 
@@ -52,9 +72,19 @@ def _cmd_compare(args) -> int:
 def _run_compare(args) -> int:
     from repro.utils.barchart import percent_chart
 
-    comparison = compare_app(args.app, scale=args.scale, seed=args.seed)
+    plan = _fault_plan_of(args)
+    comparison = compare_app(
+        args.app, scale=args.scale, seed=args.seed, faults=plan
+    )
     d, o = comparison.default_metrics, comparison.optimized_metrics
     print(f"app: {args.app}")
+    if plan is not None:
+        print(
+            f"faults   : {plan.fingerprint()}  "
+            f"dead_nodes={sorted(plan.all_dead_nodes())} "
+            f"dead_links={sorted((f.src, f.dst) for f in plan.links)} "
+            f"degraded_channels={sorted(plan.channel_factors())}"
+        )
     print(f"default  : {d.summary()}")
     print(f"optimized: {o.summary()}")
     print()
@@ -87,6 +117,7 @@ def _cmd_report(args) -> int:
         seed=args.seed,
         trace_file=args.trace or None,
         debug_trace=args.trace_debug,
+        faults=_fault_plan_of(args),
     )
     write_report(report, args.out)
     print("\n".join(summary_lines(report)))
@@ -109,6 +140,52 @@ def _cmd_codegen(args) -> int:
                 break
         break
     print(generate_code(schedules).listing())
+    return 0
+
+
+def _cmd_faults(args) -> int:
+    """Fault-injection demo: seeded plan -> degraded run -> degradation report."""
+    from repro.faults import random_plan
+    from repro.obs.report import (
+        build_report,
+        heatmap_of,
+        summary_lines,
+        write_report,
+    )
+
+    if args.plan:
+        plan = FaultPlan.load(args.plan)
+    else:
+        if args.app == "tiny":
+            from repro.arch.knl import small_machine
+
+            machine = small_machine()
+        else:
+            from repro.experiments.common import paper_machine
+
+            machine = paper_machine()
+        plan = random_plan(
+            machine.mesh.cols,
+            machine.mesh.rows,
+            seed=args.seed,
+            link_count=args.links,
+            node_count=args.nodes,
+            protected_nodes=set(machine.mc_nodes) | set(machine.edc_nodes),
+        )
+    print("fault plan:")
+    print(plan.dumps())
+    if args.plan_out:
+        plan.dump(args.plan_out)
+        print(f"wrote plan to {args.plan_out}")
+
+    report = build_report(args.app, scale=args.scale, faults=plan)
+    print()
+    print("\n".join(summary_lines(report)))
+    if args.out:
+        write_report(report, args.out)
+        print(f"\nwrote {args.out}")
+    print("\nNoC link heatmap (degraded run; detours route around dead links):")
+    print(heatmap_of(report).ascii_grid())
     return 0
 
 
@@ -146,11 +223,20 @@ def main(argv: List[str] = None) -> int:
             help="also emit per-instance firehose events (large traces)",
         )
 
+    def add_faults_flag(p) -> None:
+        p.add_argument(
+            "--faults",
+            default="",
+            metavar="PLAN.json",
+            help="apply this fault plan (see repro.faults) before placement",
+        )
+
     compare = sub.add_parser("compare", help="default vs optimized for one app")
     compare.add_argument("app", choices=ALL_WORKLOAD_NAMES)
     compare.add_argument("--scale", type=int, default=1)
     compare.add_argument("--seed", type=int, default=0)
     add_trace_flags(compare)
+    add_faults_flag(compare)
     compare.set_defaults(func=_cmd_compare)
 
     report = sub.add_parser(
@@ -168,7 +254,48 @@ def main(argv: List[str] = None) -> int:
         "--no-heatmap", action="store_true", help="skip the ASCII heatmap"
     )
     add_trace_flags(report)
+    add_faults_flag(report)
     report.set_defaults(func=_cmd_report)
+
+    faults = sub.add_parser(
+        "faults",
+        help="fault-injection demo: degraded run + detour heatmap",
+    )
+    faults.add_argument(
+        "app",
+        nargs="?",
+        default="tiny",
+        choices=list(ALL_WORKLOAD_NAMES) + ["tiny"],
+        help="workload to degrade (default: the sub-second 'tiny' app)",
+    )
+    faults.add_argument(
+        "--seed", type=int, default=0, help="fault-plan generation seed"
+    )
+    faults.add_argument(
+        "--links", type=int, default=2, help="mesh links to kill (default 2)"
+    )
+    faults.add_argument(
+        "--nodes", type=int, default=1, help="tiles to take offline (default 1)"
+    )
+    faults.add_argument(
+        "--scale", type=int, default=1, help="workload scale (real apps)"
+    )
+    faults.add_argument(
+        "--plan",
+        default="",
+        metavar="PLAN.json",
+        help="use this plan instead of generating a random one",
+    )
+    faults.add_argument(
+        "--plan-out",
+        default="",
+        metavar="FILE",
+        help="also write the generated plan to FILE",
+    )
+    faults.add_argument(
+        "--out", default="", metavar="FILE", help="also write report.json"
+    )
+    faults.set_defaults(func=_cmd_faults)
 
     codegen = sub.add_parser("codegen", help="show generated per-node code")
     codegen.add_argument("app", choices=ALL_WORKLOAD_NAMES)
@@ -191,7 +318,14 @@ def main(argv: List[str] = None) -> int:
     experiments.set_defaults(func=_cmd_experiments)
 
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

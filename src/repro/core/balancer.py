@@ -10,8 +10,7 @@ is considered.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence
+from typing import Dict, Sequence
 
 from repro.obs.tracer import get_tracer
 
@@ -77,7 +76,7 @@ class LoadBalancer:
 
     def imbalance(self) -> float:
         """max/mean load ratio (1.0 = perfectly balanced; 0 when idle)."""
-        busy = [l for l in self.load if l > 0]
+        busy = [load for load in self.load if load > 0]
         if not busy:
             return 0.0
         mean = sum(self.load) / self.node_count

@@ -9,8 +9,8 @@ the paper's source-to-source translator emits (Figure 8b's node i / node i1
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
 
 from repro.core.scheduler import StatementSchedule
 from repro.core.subcomputation import Subcomputation

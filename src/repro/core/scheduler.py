@@ -24,8 +24,7 @@ minimized by :mod:`repro.core.syncgraph`.
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.core.balancer import LoadBalancer, op_cost

@@ -10,7 +10,7 @@ feeds its parent or performs the final store.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.ir.statement import Access

@@ -14,8 +14,7 @@ per-node bitmasks in one reverse sweep.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 from repro.errors import SchedulingError
 

@@ -47,3 +47,7 @@ class SimulationError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload definition is malformed or unknown."""
+
+
+class FaultError(ReproError):
+    """A fault plan is invalid or leaves the machine unable to operate."""

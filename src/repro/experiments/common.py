@@ -17,7 +17,7 @@ most figures slice the same 12-app comparison differently.
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.arch.cluster_modes import ClusterMode
@@ -25,6 +25,7 @@ from repro.arch.machine import Machine, MachineConfig
 from repro.arch.memory_modes import MemoryMode
 from repro.baselines.default_placement import DefaultPlacement, PlacementResult
 from repro.core.partitioner import NdpPartitioner, PartitionConfig, PartitionResult
+from repro.faults import FaultPlan
 from repro.sim.engine import SimConfig, Simulator
 from repro.sim.metrics import SimMetrics
 from repro.workloads import ALL_WORKLOAD_NAMES, build_workload
@@ -188,9 +189,12 @@ def run_default(
     cluster_mode: ClusterMode = ClusterMode.QUADRANT,
     memory_mode: MemoryMode = MemoryMode.FLAT,
     sim_config: SimConfig = SimConfig(),
+    faults: Optional[FaultPlan] = None,
 ) -> Tuple[PlacementResult, SimMetrics, Machine]:
     """Default placement of ``app``, simulated; returns placement + metrics."""
     machine = paper_machine(cluster_mode, memory_mode)
+    if faults is not None and not faults.is_empty:
+        machine.apply_faults(faults)
     program = build_workload(app, scale, seed)
     placement = DefaultPlacement(machine).place(program)
     metrics = Simulator(machine, sim_config).run(placement.units)
@@ -205,9 +209,12 @@ def run_optimized(
     memory_mode: MemoryMode = MemoryMode.FLAT,
     partition_config: Optional[PartitionConfig] = None,
     sim_config: SimConfig = SimConfig(),
+    faults: Optional[FaultPlan] = None,
 ) -> Tuple[PartitionResult, SimMetrics, Machine]:
     """NDP-partitioned ``app``, simulated; returns partition + metrics."""
     machine = paper_machine(cluster_mode, memory_mode)
+    if faults is not None and not faults.is_empty:
+        machine.apply_faults(faults)
     program = build_workload(app, scale, seed)
     partitioner = NdpPartitioner(machine, partition_config or PartitionConfig())
     partition = partitioner.partition(program)
@@ -222,15 +229,26 @@ def compare_app(
     seed: int = 0,
     cluster_mode: ClusterMode = ClusterMode.QUADRANT,
     memory_mode: MemoryMode = MemoryMode.FLAT,
+    faults: Optional[FaultPlan] = None,
 ) -> AppComparison:
-    """Default-vs-optimized comparison for one app (memoized)."""
-    key = (app, scale, seed, cluster_mode, memory_mode)
+    """Default-vs-optimized comparison for one app (memoized).
+
+    A non-empty ``faults`` plan degrades both machines before placement;
+    the memoization key includes the plan's fingerprint, so healthy and
+    degraded comparisons of the same app never collide.
+    """
+    if faults is not None and faults.is_empty:
+        faults = None
+    fault_key = None if faults is None else faults.fingerprint()
+    key = (app, scale, seed, cluster_mode, memory_mode, fault_key)
     cached = _CACHE.get(key)
     if cached is not None:
         return cached
-    _, default_metrics, _ = run_default(app, scale, seed, cluster_mode, memory_mode)
+    _, default_metrics, _ = run_default(
+        app, scale, seed, cluster_mode, memory_mode, faults=faults
+    )
     partition, optimized_metrics, _ = run_optimized(
-        app, scale, seed, cluster_mode, memory_mode
+        app, scale, seed, cluster_mode, memory_mode, faults=faults
     )
     comparison = AppComparison(
         app=app,
@@ -248,7 +266,7 @@ def _prewarm_compare(args) -> Tuple[Tuple, AppComparison]:
     """Worker: one (app, cluster, memory) comparison, cache-key + value."""
     app, scale, seed, cluster_mode, memory_mode = args
     comparison = compare_app(app, scale, seed, cluster_mode, memory_mode)
-    return (app, scale, seed, cluster_mode, memory_mode), comparison
+    return (app, scale, seed, cluster_mode, memory_mode, None), comparison
 
 
 def _prewarm_ideal(args) -> Tuple[Tuple, SimMetrics]:
@@ -318,8 +336,9 @@ def prewarm(
                 scale,
                 seed,
                 True,
-                _CACHE[(app, scale, seed, ClusterMode.QUADRANT, MemoryMode.FLAT)]
-                .partition.split_plan,
+                _CACHE[
+                    (app, scale, seed, ClusterMode.QUADRANT, MemoryMode.FLAT, None)
+                ].partition.split_plan,
             )
             for app in apps
             for size in window_sizes

@@ -15,7 +15,7 @@ parallelism.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from repro.experiments.common import (

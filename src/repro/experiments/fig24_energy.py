@@ -18,7 +18,7 @@ from repro.experiments.common import (
     format_table,
     paper_machine,
 )
-from repro.sim.engine import SimConfig, Simulator
+from repro.sim.engine import Simulator
 from repro.utils.stats import mean
 from repro.workloads import build_workload
 

@@ -89,6 +89,16 @@ def main(argv: List[str] = None) -> int:
     args = parser.parse_args(argv)
     if args.apps:
         apps = [a.strip() for a in args.apps.split(",") if a.strip()]
+        from repro.workloads import ALL_WORKLOAD_NAMES
+
+        unknown = [a for a in apps if a not in ALL_WORKLOAD_NAMES]
+        if unknown:
+            print(
+                f"error: unknown app name(s): {', '.join(unknown)}; "
+                f"known apps: {', '.join(ALL_WORKLOAD_NAMES)}",
+                file=sys.stderr,
+            )
+            return 2
     elif args.quick:
         apps = QUICK_APPS
     else:

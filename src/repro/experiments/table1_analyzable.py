@@ -13,7 +13,7 @@ from typing import Dict, List
 
 from repro.experiments.common import DEFAULT_APPS, format_table
 from repro.ir.dependence import analyzable_fraction
-from repro.workloads import build_workload, workload_specs
+from repro.workloads import build_workload
 
 #: The values Table 1 prints (fractions); entries the scan of the paper
 #: truncated are carried at our calibrated targets.

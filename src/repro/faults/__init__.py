@@ -1,0 +1,30 @@
+"""Fault injection & graceful degradation (see DESIGN.md section 9).
+
+Real KNL-class parts ship with disabled tiles, failed mesh links, and
+partially-degraded memory channels; the partitioner's data-movement
+minimization has to keep working on that imperfect machine.  This package
+provides the deterministic :class:`~repro.faults.plan.FaultPlan` input
+format; the machine consumes a plan through
+:meth:`repro.arch.machine.Machine.apply_faults`, which re-homes L2 banks
+off dead tiles, wires fault-aware detour routing into the NoC, excludes
+offline tiles from placement, and arms the simulator's mid-run
+relocation/retry path.
+"""
+
+from repro.faults.plan import (
+    PLAN_VERSION,
+    ChannelDegrade,
+    FaultPlan,
+    LinkFault,
+    NodeFault,
+    random_plan,
+)
+
+__all__ = [
+    "PLAN_VERSION",
+    "ChannelDegrade",
+    "FaultPlan",
+    "LinkFault",
+    "NodeFault",
+    "random_plan",
+]

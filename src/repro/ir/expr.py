@@ -17,7 +17,7 @@ tree shape itself.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, Mapping, Tuple, Union
 
 from repro.errors import DependenceError

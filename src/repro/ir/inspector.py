@@ -16,7 +16,7 @@ may-dependence edges those accesses induce.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Set
 
 from repro.errors import DependenceError, WorkloadError
 from repro.ir.dependence import Dependence, instance_dependences

@@ -8,8 +8,8 @@ search (Section 4.4) picks one window size *per nest*.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Iterator, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.ir.statement import Statement

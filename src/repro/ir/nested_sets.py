@@ -23,10 +23,10 @@ rather than becoming members.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple, Union
 
-from repro.ir.expr import BinOp, Const, Expr, PRECEDENCE, Ref
+from repro.ir.expr import BinOp, Const, Expr, Ref
 
 
 @dataclass(frozen=True)

@@ -11,13 +11,13 @@ and the simulator consume.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import WorkloadError
 from repro.ir.expr import AffineIndex, IndirectIndex, Ref
 from repro.ir.loop import LoopNest
-from repro.ir.statement import Access, Statement, StatementInstance
+from repro.ir.statement import Access, StatementInstance
 
 
 @dataclass(frozen=True)

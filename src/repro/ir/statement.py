@@ -9,10 +9,10 @@ the partitioner's ``GetNode`` and the simulator operate on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, Mapping, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterator, Tuple
 
-from repro.ir.expr import BinOp, Expr, Ref
+from repro.ir.expr import Expr, Ref
 
 
 @dataclass(frozen=True, slots=True)

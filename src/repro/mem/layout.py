@@ -9,7 +9,7 @@ the SNUCA home L2 bank and memory channel of every element.  This is the
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 import numpy as np

@@ -8,10 +8,12 @@ on-chip network latency).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping
 
-from repro.noc.routing import LinkId
+from typing import Optional
+
+from repro.noc.routing import LinkId, Router
 from repro.noc.topology import Mesh2D
 from repro.noc.traffic import TrafficMatrix
 
@@ -36,21 +38,32 @@ class NetworkParams:
 class NetworkModel:
     """Computes message latencies and tracks latency statistics."""
 
-    def __init__(self, mesh: Mesh2D, params: NetworkParams = NetworkParams()):
+    def __init__(
+        self,
+        mesh: Mesh2D,
+        params: NetworkParams = NetworkParams(),
+        router: Optional[Router] = None,
+    ):
         self.mesh = mesh
         self.params = params
-        self.traffic = TrafficMatrix(mesh)
+        self.router = router
+        self.traffic = TrafficMatrix(mesh, router=router)
         self._latencies: List[float] = []
 
     def congestion_factor(self, src: int, dst: int) -> float:
         """Multiplier >= 1 reflecting load on the message's route.
 
-        Uses the max per-link flit count already recorded along the XY route,
+        Uses the max per-link flit count already recorded along the route
+        (the fault-detoured route when a faulty router is installed),
         normalized by ``congestion_reference``.  A quiet network returns 1.0.
         """
         from repro.noc.routing import xy_route_links_cached
 
-        links = xy_route_links_cached(self.mesh, src, dst)
+        router = self.router
+        if router is not None and not router.healthy:
+            links = router.route_links(src, dst)
+        else:
+            links = xy_route_links_cached(self.mesh, src, dst)
         if not links:
             return 1.0
         load = self.traffic.max_flits_on(links) / self.params.congestion_reference
@@ -174,7 +187,6 @@ class LinkStats:
             return self.flits.get((a, b), 0) + self.flits.get((b, a), 0)
 
         lines: List[str] = []
-        cell = 5   # width of a node cell "[ id]"
         for y in range(self.rows):
             row_parts: List[str] = []
             for x in range(self.cols):

@@ -9,9 +9,11 @@ data volume, and congestion — Section 2).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List
 
-from repro.noc.routing import LinkId, xy_route_links_cached
+from typing import Optional
+
+from repro.noc.routing import LinkId, Router, xy_route_links_cached
 from repro.noc.topology import Mesh2D
 
 
@@ -26,13 +28,19 @@ class Link:
 
 @dataclass
 class TrafficMatrix:
-    """Accumulates per-link flit counts for a simulation run."""
+    """Accumulates per-link flit counts for a simulation run.
+
+    With a fault-aware ``router`` installed, messages are charged on the
+    links of their *detour* routes, so the matrix keeps decomposing the
+    run's data movement exactly even when parts of the mesh are dead.
+    """
 
     mesh: Mesh2D
     _flits: Dict[LinkId, int] = field(default_factory=dict)
     total_messages: int = 0
     total_hops: int = 0
     total_flit_hops: int = 0
+    router: Optional[Router] = None
 
     def record(self, src: int, dst: int, flits: int = 1) -> int:
         """Record a ``flits``-sized message from ``src`` to ``dst``.
@@ -40,7 +48,11 @@ class TrafficMatrix:
         Returns the hop count (0 when src == dst; local accesses use no
         links and contribute no traffic).
         """
-        links = xy_route_links_cached(self.mesh, src, dst)
+        router = self.router
+        if router is not None and not router.healthy:
+            links = router.route_links(src, dst)
+        else:
+            links = xy_route_links_cached(self.mesh, src, dst)
         flit_map = self._flits
         for link in links:
             flit_map[link] = flit_map.get(link, 0) + flits

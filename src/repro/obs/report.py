@@ -31,6 +31,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.arch.machine import Machine
 from repro.baselines.default_placement import DefaultPlacement
 from repro.core.partitioner import NdpPartitioner, PartitionConfig, PartitionResult
+from repro.faults import FaultPlan
 from repro.ir.program import Program
 from repro.noc.network import LinkStats
 from repro.obs.schema import REPORT_KIND, REPORT_SCHEMA_VERSION, assert_valid
@@ -128,6 +129,7 @@ def build_report(
     trace_file: Optional[str] = None,
     debug_trace: bool = False,
     partition_config: Optional[PartitionConfig] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> Dict:
     """Run ``app`` end to end and return its schema-valid report dict.
 
@@ -138,14 +140,22 @@ def build_report(
             and the path is recorded in the report's ``trace_file`` field.
         debug_trace: also emit per-instance firehose events (large files).
         partition_config: override the default :class:`PartitionConfig`.
+        faults: a :class:`~repro.faults.FaultPlan` to apply to every
+            machine before placement/partitioning.  A non-empty plan adds
+            an extra *healthy* optimized run (phase ``simulate_healthy``)
+            and fills the report's ``faults`` section with the plan and
+            the degraded-vs-healthy overheads; an empty (or absent) plan
+            leaves the pipeline untouched and ``faults`` null.
 
     The returned dict is validated against :mod:`repro.obs.schema` before
     being returned, so downstream consumers never see a malformed report.
     """
+    if faults is not None and faults.is_empty:
+        faults = None
     if trace_file is not None:
         with tracing(trace_file, debug=debug_trace):
-            return _build(app, scale, seed, trace_file, partition_config)
-    return _build(app, scale, seed, None, partition_config)
+            return _build(app, scale, seed, trace_file, partition_config, faults)
+    return _build(app, scale, seed, None, partition_config, faults)
 
 
 def _build(
@@ -154,21 +164,28 @@ def _build(
     seed: int,
     trace_file: Optional[str],
     partition_config: Optional[PartitionConfig],
+    faults: Optional[FaultPlan],
 ) -> Dict:
     machine_factory, program_factory = _factories(app, scale, seed)
     phases: Dict[str, float] = {}
 
     program, phases["build"] = _timed(program_factory)
 
+    def make_machine(apply_plan: bool = True) -> Machine:
+        machine = machine_factory()
+        if apply_plan and faults is not None:
+            machine.apply_faults(faults)
+        return machine
+
     # Default placement: its own machine, as in the experiment harness.
-    default_machine = machine_factory()
+    default_machine = make_machine()
     default_program = program_factory()
     placement = DefaultPlacement(default_machine).place(default_program)
     default_metrics, phases["simulate_default"] = _timed(
         lambda: Simulator(default_machine, SimConfig()).run(placement.units)
     )
 
-    optimized_machine = machine_factory()
+    optimized_machine = make_machine()
     partitioner = NdpPartitioner(
         optimized_machine, partition_config or PartitionConfig()
     )
@@ -177,6 +194,21 @@ def _build(
     optimized_metrics, phases["simulate_optimized"] = _timed(
         lambda: Simulator(optimized_machine, SimConfig()).run(partition.units())
     )
+
+    faults_section = None
+    if faults is not None:
+        # Degraded-vs-healthy baseline: the same optimized pipeline on an
+        # unfaulted machine, so the overhead numbers isolate the plan.
+        def healthy_run() -> SimMetrics:
+            machine = make_machine(apply_plan=False)
+            healthy_partition = NdpPartitioner(
+                machine, partition_config or PartitionConfig()
+            ).partition(program)
+            machine.mcdram.reset()
+            return Simulator(machine, SimConfig()).run(healthy_partition.units())
+
+        healthy_metrics, phases["simulate_healthy"] = _timed(healthy_run)
+        faults_section = _faults_info(faults, optimized_metrics, healthy_metrics)
 
     heatmap = LinkStats.from_link_flits(
         optimized_machine.mesh.cols,
@@ -199,9 +231,43 @@ def _build(
             name: round(seconds, 6) for name, seconds in phases.items()
         },
         "trace_file": trace_file,
+        "faults": faults_section,
     }
     assert_valid(report)
     return report
+
+
+def _faults_info(
+    plan: FaultPlan, degraded: SimMetrics, healthy: SimMetrics
+) -> Dict:
+    """The report's ``faults`` object (plan + degradation accounting)."""
+    def overhead(base: float, new: float) -> float:
+        return 0.0 if base <= 0 else (new - base) / base
+
+    dead_links = sorted(
+        {tuple(sorted((fault.src, fault.dst))) for fault in plan.links}
+    )
+    return {
+        "plan": plan.to_json(),
+        "fingerprint": plan.fingerprint(),
+        "dead_nodes": sorted(plan.all_dead_nodes()),
+        "dead_links": [list(link) for link in dead_links],
+        "fault_events": degraded.fault_events,
+        "relocations": degraded.fault_relocations,
+        "detour_extra_hops": degraded.detour_extra_hops,
+        "degraded_vs_healthy": {
+            "healthy_movement": healthy.data_movement,
+            "degraded_movement": degraded.data_movement,
+            "healthy_cycles": healthy.total_cycles,
+            "degraded_cycles": degraded.total_cycles,
+            "movement_overhead": overhead(
+                healthy.data_movement, degraded.data_movement
+            ),
+            "time_overhead": overhead(
+                healthy.total_cycles, degraded.total_cycles
+            ),
+        },
+    }
 
 
 def write_report(report: Dict, path: str) -> None:
@@ -240,4 +306,17 @@ def summary_lines(report: Dict) -> List[str]:
             for name, seconds in report["phase_seconds"].items()
         ),
     ]
+    faults = report.get("faults")
+    if faults is not None:
+        comparison = faults["degraded_vs_healthy"]
+        lines += [
+            f"fault plan         : {faults['fingerprint']}  "
+            f"dead_nodes={faults['dead_nodes']} "
+            f"dead_links={faults['dead_links']}",
+            f"degradation        : movement "
+            f"{comparison['movement_overhead']:+.1%}  time "
+            f"{comparison['time_overhead']:+.1%}  "
+            f"detour_hops={faults['detour_extra_hops']}  "
+            f"relocations={faults['relocations']}",
+        ]
     return lines

@@ -8,10 +8,10 @@ regression dashboards, the golden-file tests) may rely on, and
 dependencies.  Bump :data:`REPORT_SCHEMA_VERSION` on any breaking change
 and keep the old fields readable for one version.
 
-Schema (version 1)::
+Schema (version 2)::
 
     {
-      "schema_version": 1,
+      "schema_version": 2,
       "kind": "repro.report",
       "app": "ocean", "scale": 1, "seed": 0,
       "machine": {
@@ -43,15 +43,39 @@ Schema (version 1)::
       },
       "phase_seconds": {"build": ..., "partition": ...,
                         "simulate_default": ..., "simulate_optimized": ...},
-      "trace_file": "/tmp/t.jsonl"     # or null
+      "trace_file": "/tmp/t.jsonl",    # or null
+      "faults": null                   # healthy run; object on degraded runs:
+      # {
+      #   "plan":        { ...FaultPlan.to_json()... },
+      #   "fingerprint": "15ab0fd389c331c0",
+      #   "dead_nodes":  [9],                  # every node the plan kills
+      #   "dead_links":  [[5, 6], [5, 9]],     # undirected, sorted pairs
+      #   "fault_events":      0,              # mid-run activations (optimized)
+      #   "relocations":       0,              # units moved off dead tiles
+      #   "detour_extra_hops": 16,             # flit-hops beyond Manhattan
+      #   "degraded_vs_healthy": {             # optimized run, plan vs no plan
+      #     "healthy_movement": 1183, "degraded_movement": 1215,
+      #     "healthy_cycles": ...,    "degraded_cycles": ...,
+      #     "movement_overhead": 0.027,        # fractional increase
+      #     "time_overhead": 0.031
+      #   }
+      # }
     }
 
 Invariants (checked by :func:`validate_report` beyond field types):
 
 * ``link_heatmap.total_flit_hops`` equals the sum of the per-link flit
   volumes **and** equals ``optimized.data_movement`` — the heatmap is an
-  exact decomposition of the paper's headline metric onto mesh links;
-* every link's endpoints are valid, distinct, mesh-adjacent node ids.
+  exact decomposition of the paper's headline metric onto mesh links
+  (under a fault plan the decomposition includes detour hops, so the
+  identity holds on degraded runs too);
+* every link's endpoints are valid, distinct, mesh-adjacent node ids;
+* when ``faults`` is non-null, its ``dead_nodes``/``dead_links`` ids are
+  in range and the ``degraded_vs_healthy`` comparison is numerically
+  consistent with its own healthy/degraded operands.
+
+Version history: v1 had no ``faults`` field; v1 documents (no ``faults``
+key, ``schema_version: 1``) still validate.
 
 Validate from the command line (exit code 0 = valid)::
 
@@ -64,8 +88,11 @@ import json
 import sys
 from typing import Any, Dict, List
 
-REPORT_SCHEMA_VERSION = 1
+REPORT_SCHEMA_VERSION = 2
 REPORT_KIND = "repro.report"
+
+#: schema versions validate_report still accepts (v1 = pre-faults).
+SUPPORTED_SCHEMA_VERSIONS = (1, 2)
 
 #: field name -> required python type(s), for the flat top-level checks.
 _TOP_LEVEL: Dict[str, Any] = {
@@ -120,6 +147,27 @@ _METRIC_FIELDS = (
 
 _PHASES = ("build", "partition", "simulate_default", "simulate_optimized")
 
+#: required fields of a non-null top-level ``faults`` object.
+_FAULT_FIELDS: Dict[str, Any] = {
+    "plan": dict,
+    "fingerprint": str,
+    "dead_nodes": list,
+    "dead_links": list,
+    "fault_events": int,
+    "relocations": int,
+    "detour_extra_hops": int,
+    "degraded_vs_healthy": dict,
+}
+
+_FAULT_COMPARISON_FIELDS = (
+    "healthy_movement",
+    "degraded_movement",
+    "healthy_cycles",
+    "degraded_cycles",
+    "movement_overhead",
+    "time_overhead",
+)
+
 
 def _check_fields(
     obj: Dict[str, Any], spec: Dict[str, Any], where: str, errors: List[str]
@@ -135,11 +183,14 @@ def _check_fields(
 
 
 def validate_report(report: Any) -> List[str]:
-    """Check ``report`` against schema version 1; returns error strings.
+    """Check ``report`` against the schema; returns error strings.
 
     An empty list means the document is valid.  Checks structure, field
     types, and the cross-field invariants documented in the module
-    docstring (heatmap sums, link endpoint sanity).
+    docstring (heatmap sums, link endpoint sanity, fault-section
+    consistency).  Accepts every version in
+    :data:`SUPPORTED_SCHEMA_VERSIONS`; the ``faults`` field is required
+    (though nullable) only from version 2 on.
     """
     errors: List[str] = []
     if not isinstance(report, dict):
@@ -148,10 +199,10 @@ def validate_report(report: Any) -> List[str]:
     if errors:
         return errors
 
-    if report["schema_version"] != REPORT_SCHEMA_VERSION:
+    if report["schema_version"] not in SUPPORTED_SCHEMA_VERSIONS:
         errors.append(
-            f"report.schema_version: expected {REPORT_SCHEMA_VERSION}, "
-            f"got {report['schema_version']!r}"
+            f"report.schema_version: expected one of "
+            f"{SUPPORTED_SCHEMA_VERSIONS}, got {report['schema_version']!r}"
         )
     if report["kind"] != REPORT_KIND:
         errors.append(f"report.kind: expected {REPORT_KIND!r}")
@@ -188,6 +239,66 @@ def validate_report(report: Any) -> List[str]:
             errors.append(f"phase_seconds.{name}: expected a number")
 
     errors.extend(_validate_heatmap(report))
+
+    if report.get("schema_version") != 1:
+        if "faults" not in report:
+            errors.append("report: missing field 'faults' (nullable from v2)")
+        elif report["faults"] is not None:
+            errors.extend(_validate_faults(report))
+    return errors
+
+
+def _validate_faults(report: Dict[str, Any]) -> List[str]:
+    """Structural + consistency checks of a non-null ``faults`` section."""
+    errors: List[str] = []
+    faults = report["faults"]
+    if not isinstance(faults, dict):
+        return ["faults: expected an object or null"]
+    _check_fields(faults, _FAULT_FIELDS, "faults", errors)
+    if errors:
+        return errors
+
+    machine = report["machine"]
+    node_count = machine.get("mesh_cols", 0) * machine.get("mesh_rows", 0)
+    for node in faults["dead_nodes"]:
+        if not isinstance(node, int) or not 0 <= node < node_count:
+            errors.append(f"faults.dead_nodes: bad node id {node!r}")
+    for link in faults["dead_links"]:
+        if (
+            not isinstance(link, list)
+            or len(link) != 2
+            or not all(isinstance(n, int) for n in link)
+            or not all(0 <= n < node_count for n in link)
+        ):
+            errors.append(f"faults.dead_links: malformed link {link!r}")
+
+    comparison = faults["degraded_vs_healthy"]
+    for name in _FAULT_COMPARISON_FIELDS:
+        if name not in comparison:
+            errors.append(f"faults.degraded_vs_healthy: missing {name!r}")
+        elif not isinstance(comparison[name], (int, float)):
+            errors.append(
+                f"faults.degraded_vs_healthy.{name}: expected a number"
+            )
+    if not errors:
+        healthy = comparison["healthy_movement"]
+        degraded = comparison["degraded_movement"]
+        if healthy > 0:
+            expected = (degraded - healthy) / healthy
+            if abs(comparison["movement_overhead"] - expected) > 1e-6:
+                errors.append(
+                    "faults.degraded_vs_healthy: movement_overhead "
+                    f"{comparison['movement_overhead']} inconsistent with "
+                    f"movement operands ({healthy} -> {degraded})"
+                )
+        degraded_movement = report["optimized"].get("data_movement")
+        if isinstance(degraded_movement, (int, float)) and (
+            degraded != degraded_movement
+        ):
+            errors.append(
+                f"faults.degraded_vs_healthy: degraded_movement {degraded} "
+                f"!= optimized.data_movement {degraded_movement}"
+            )
     return errors
 
 

@@ -18,7 +18,7 @@ happens, which is how over-sized windows show their L1-pollution penalty
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.arch.machine import Machine
@@ -77,12 +77,24 @@ class Simulator:
             machine.l2_config,
             machine.bank_to_node,
         )
-        self.network = NetworkModel(machine.mesh, config.network)
+        # A machine with an applied fault plan routes through its
+        # fault-aware router (detours charge their true link count); a
+        # pristine machine keeps the plain XY fast path, bit-identical to
+        # the fault-free engine.
+        plan = machine.faults
+        self._fault_mode = plan is not None and not plan.is_empty
+        router = machine.router if self._fault_mode else None
+        self.network = NetworkModel(machine.mesh, config.network, router=router)
         self.energy_model = EnergyModel(config.energy)
         self._forced_counter = 0
         # Fast-path distance callable (nested-list indexing, no bounds
         # checks): all simulated src/dst are valid mesh node ids.
-        self._distance = machine.mesh.distance_fn()
+        self._manhattan = machine.mesh.distance_fn()
+        if self._fault_mode:
+            # Epoch-aware: reflects mid-run fault activations immediately.
+            self._distance = machine.router.hops
+        else:
+            self._distance = self._manhattan
 
     # -- network helpers ----------------------------------------------------
 
@@ -95,6 +107,10 @@ class Simulator:
         hops = self._distance(src, dst)
         metrics.data_movement += hops
         metrics.movement_by_seq[seq] += hops
+        if self._fault_mode:
+            extra = hops - self._manhattan(src, dst)
+            if extra:
+                metrics.detour_extra_hops += extra
         if config.ideal_network:
             return 0.0
         return latency * config.hop_latency_scale
@@ -208,6 +224,57 @@ class Simulator:
                 readers[key] = []
         return arcs
 
+    # -- fault handling ------------------------------------------------------
+
+    def _activate_faults(
+        self, pending, processed, dead_links, dead_nodes, relocation, metrics
+    ) -> None:
+        """Apply every mid-run fault whose activation epoch has passed.
+
+        Mutates the caller's live ``dead_links`` / ``dead_nodes`` sets,
+        clears the relocation targets (they were chosen against the old
+        fault set), and installs the new configuration into the machine's
+        router — which bumps the fault epoch and drops the detour cache.
+        """
+        from repro.faults.plan import NodeFault
+
+        tracer = get_tracer()
+        while pending and processed >= pending[0][0]:
+            at_unit, fault = pending.pop(0)
+            if isinstance(fault, NodeFault):
+                dead_nodes.add(fault.node)
+            else:
+                dead_links.update(fault.directed())
+            metrics.fault_events += 1
+            if tracer.enabled:
+                tracer.point(
+                    "fault.activate",
+                    at_unit=at_unit,
+                    units_done=processed,
+                    fault=repr(fault),
+                )
+        relocation.clear()
+        self.machine.router.set_faults(dead_links, dead_nodes)
+
+    def _relocate(self, unit, dead_nodes, relocation, metrics) -> int:
+        """Nearest surviving tile for a unit whose home tile is offline."""
+        node = unit.node
+        target = relocation.get(node)
+        if target is None:
+            alive = [
+                n for n in range(self.machine.node_count) if n not in dead_nodes
+            ]
+            if not alive:
+                raise SimulationError("fault plan killed every tile mid-run")
+            distance = self._manhattan
+            target = min(alive, key=lambda n: (distance(node, n), n))
+            relocation[node] = target
+        metrics.fault_relocations += 1
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.point("fault.relocate", uid=unit.uid, src=node, dst=target)
+        return target
+
     # -- main loop --------------------------------------------------------------
 
     def run(self, units: Sequence[Subcomputation]) -> SimMetrics:
@@ -268,12 +335,41 @@ class Simulator:
         heappush = heapq.heappush
         seqs: Set[int] = set()
 
+        # -- fault state (only consulted when a non-empty plan is applied).
+        # ``dead_*`` track the faults active *so far* (static + activated
+        # mid-run events); ``exec_node`` records where each unit actually
+        # ran, which differs from unit.node for relocated units.
+        fault_mode = self._fault_mode
+        pending_faults: List = []
+        dead_nodes: Set[int] = set()
+        dead_links: Set[Tuple[int, int]] = set()
+        relocation: Dict[int, int] = {}
+        exec_node: Dict[int, int] = {}
+        if fault_mode:
+            plan = self.machine.faults
+            pending_faults = plan.midrun_events()
+            dead_nodes = set(plan.static_dead_nodes())
+            dead_links = set(plan.static_dead_links())
+
         while ready:
             _, uid = heapq.heappop(ready)
             unit = by_uid[uid]
             node = unit.node
             seq = unit.seq
             seqs.add(seq)
+            if fault_mode:
+                if pending_faults and processed >= pending_faults[0][0]:
+                    self._activate_faults(
+                        pending_faults, processed, dead_links, dead_nodes,
+                        relocation, metrics,
+                    )
+                if node in dead_nodes:
+                    # Graceful degradation: the unit's home tile died; rerun
+                    # it on the nearest surviving tile instead of crashing.
+                    node = self._relocate(
+                        unit, dead_nodes, relocation, metrics
+                    )
+                exec_node[uid] = node
             servers = node_ctx.setdefault(node, [0.0] * contexts)
 
             # When are this unit's inputs all present?
@@ -282,8 +378,11 @@ class Simulator:
             for result in unit.sub_results:
                 producer = by_uid[result.producer_uid]
                 arrival = finish[producer.uid]
-                if producer.node != node:
-                    arrival += message(producer.node, node, seq, metrics)
+                producer_node = (
+                    exec_node[producer.uid] if fault_mode else producer.node
+                )
+                if producer_node != node:
+                    arrival += message(producer_node, node, seq, metrics)
                     arrival += sync_cost
                     metrics.sync_count += 1
                 if arrival > input_ready:
@@ -298,7 +397,10 @@ class Simulator:
                     continue
                 producer = by_uid[producer_uid]
                 arrival = finish[producer_uid]
-                if producer.node != node:
+                producer_node = (
+                    exec_node[producer_uid] if fault_mode else producer.node
+                )
+                if producer_node != node:
                     arrival += sync_cost
                     metrics.sync_count += 1
                 if arrival > input_ready:

@@ -40,6 +40,11 @@ class SimMetrics:
     energy_pj: float = 0.0
     energy_breakdown: Dict[str, float] = field(default_factory=dict)
 
+    # fault injection / graceful degradation (all zero on a healthy run)
+    fault_events: int = 0          # mid-run fault activations
+    fault_relocations: int = 0     # units moved off a tile that died
+    detour_extra_hops: int = 0     # data flit-hops beyond Manhattan minimum
+
     # per-statement-instance movement, keyed by instance seq; a defaultdict
     # so the simulator's hot message path can `+=` without a get() probe
     movement_by_seq: Dict[int, int] = field(default_factory=lambda: defaultdict(int))
@@ -110,6 +115,9 @@ class SimMetrics:
             "sync_wait_cycles": self.sync_wait_cycles,
             "energy_pj": self.energy_pj,
             "energy_breakdown": dict(self.energy_breakdown),
+            "fault_events": self.fault_events,
+            "fault_relocations": self.fault_relocations,
+            "detour_extra_hops": self.detour_extra_hops,
         }
 
     def summary(self) -> str:

@@ -7,7 +7,7 @@ experiment runner can show shapes directly in the terminal.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import List, Mapping, Optional
 
 _BLOCKS = " ▏▎▍▌▋▊▉█"
 

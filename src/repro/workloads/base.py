@@ -2,10 +2,9 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
 
-import numpy as np
 
 from repro.ir.loop import Loop, LoopNest
 from repro.ir.parser import parse_statement

@@ -4,7 +4,7 @@ import pytest
 
 from repro.arch.cluster_modes import ClusterMode
 from repro.arch.knl import knl_machine, small_machine
-from repro.arch.machine import Machine, MachineConfig
+from repro.arch.machine import MachineConfig
 from repro.arch.memory_modes import McdramModel, MemoryMode
 from repro.errors import ConfigurationError
 

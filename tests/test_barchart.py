@@ -1,6 +1,5 @@
 """Tests for the terminal bar-chart helpers."""
 
-import pytest
 
 from repro.utils.barchart import bar_chart, grouped_chart, percent_chart
 

@@ -1,7 +1,6 @@
 """Tests for baselines (default placement, locality, data mapping, ideal)
 and the code generator."""
 
-import pytest
 
 from repro.baselines.data_mapping import preferred_mc, profile_page_mc_mapping
 from repro.baselines.default_placement import DefaultPlacement

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.balancer import OP_COSTS, LoadBalancer, op_cost
 from repro.core.locator import DataLocator, VariableToNodeMap
-from repro.core.mst import MstEdge, kruskal, tree_weight
+from repro.core.mst import kruskal, tree_weight
 from repro.core.syncgraph import SyncGraph
 from repro.errors import SchedulingError
 from repro.ir.statement import Access

@@ -75,7 +75,9 @@ class TestSplitter:
         c_access = instance.reads[1]
         v2n.record(locator.block_of(c_access), target)
         split = split_statement(instance, locator, v2n)
-        c_leaf = next(l for l in split.leaves.values() if l.access == c_access)
+        c_leaf = next(
+            leaf for leaf in split.leaves.values() if leaf.access == c_access
+        )
         assert c_leaf.vertex == target
 
 
@@ -153,7 +155,6 @@ class TestScheduler:
 
     def test_var2node_records_gathers(self, declared):
         machine, program = declared
-        locator = DataLocator(machine)
         v2n = VariableToNodeMap()
         split_and_schedule(machine, program, var2node=v2n)
         assert len(v2n) > 0

@@ -1,8 +1,6 @@
 """Tests for the empirical gate and plan selection in the partitioner."""
 
-import copy
 
-import pytest
 
 from repro.arch.knl import small_machine
 from repro.core.partitioner import NdpPartitioner, PartitionConfig

@@ -1,9 +1,6 @@
 """Cross-module integration tests: determinism, end-to-end invariants, CLI."""
 
-import copy
-import itertools
 
-import pytest
 
 from repro.arch.knl import small_machine
 from repro.baselines.default_placement import DefaultPlacement

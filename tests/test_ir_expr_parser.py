@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import DependenceError, ParseError
-from repro.ir.expr import AffineIndex, BinOp, Const, IndirectIndex, Ref
+from repro.ir.expr import AffineIndex, BinOp, Const, IndirectIndex
 from repro.ir.parser import parse_expr, parse_statement
 
 

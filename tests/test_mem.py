@@ -10,7 +10,7 @@ from repro.mem.address import (
     PageInterleaving,
 )
 from repro.mem.dram import DDR4_PARAMS, MCDRAM_PARAMS
-from repro.mem.layout import ArraySpec, DataLayout
+from repro.mem.layout import DataLayout
 from repro.mem.page_alloc import PageAllocator
 
 

@@ -98,7 +98,7 @@ def test_to_json_shape_and_roundtrip():
     rebuilt = LinkStats.from_link_flits(
         payload["mesh"]["cols"],
         payload["mesh"]["rows"],
-        {(l["src"], l["dst"]): l["flits"] for l in payload["links"]},
+        {(e["src"], e["dst"]): e["flits"] for e in payload["links"]},
     )
     assert rebuilt.to_json() == payload
 

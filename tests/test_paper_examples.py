@@ -15,7 +15,7 @@ import pytest
 
 from repro.arch.knl import small_machine
 from repro.core.balancer import LoadBalancer
-from repro.core.locator import DataLocator, Location, VariableToNodeMap
+from repro.core.locator import DataLocator, Location
 from repro.core.scheduler import schedule_statement, star_cost
 from repro.core.splitter import split_statement
 from repro.core.window import WindowConfig, WindowScheduler

@@ -11,7 +11,6 @@ changes the MCDRAM flat placement.
 
 from __future__ import annotations
 
-from dataclasses import replace
 
 import pytest
 

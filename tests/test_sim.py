@@ -1,6 +1,5 @@
 """Tests for the execution simulator and the energy model."""
 
-import itertools
 
 import pytest
 
@@ -9,8 +8,8 @@ from repro.core.partitioner import NdpPartitioner, PartitionConfig
 from repro.core.subcomputation import GatheredInput, Subcomputation, SubResult
 from repro.errors import SimulationError
 from repro.ir.statement import Access
-from repro.sim.energy import EnergyModel, EnergyParams
-from repro.sim.engine import SimConfig, Simulator, run_schedule
+from repro.sim.energy import EnergyModel
+from repro.sim.engine import SimConfig, run_schedule
 
 
 def unit(uid, seq, node, gathered=(), results=(), store=None, cost=1.0, ops=1):

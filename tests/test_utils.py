@@ -1,6 +1,5 @@
 """Unit tests for repro.utils: union-find, RNG derivation, statistics."""
 
-import math
 
 import pytest
 
