@@ -6,9 +6,9 @@ JOBS ?= 1
 BENCH_OUT ?= BENCH_compile.json
 APP ?= ocean
 REPORT_OUT ?= report.json
-COV_MIN ?= 70
+COV_MIN ?= 75
 
-.PHONY: test lint cov bench bench-smoke bench-regression quick report \
+.PHONY: test lint cov check bench bench-smoke bench-regression quick report \
 	report-smoke faults-demo
 
 test:
@@ -21,6 +21,16 @@ lint:
 # Coverage gate (requires pytest-cov): fails under COV_MIN percent.
 cov:
 	$(PYTHON) -m pytest -q --cov=repro --cov-report=term --cov-fail-under=$(COV_MIN)
+
+# Correctness oracles (DESIGN.md section 10): the differential/property
+# suite in tests/check/, then smoke pipelines (healthy + degraded) with
+# the runtime invariant hooks live via REPRO_CHECK=1.
+check:
+	$(PYTHON) -m pytest tests/check -q
+	REPRO_CHECK=1 $(PYTHON) -m repro.cli report tiny --out report_check.json
+	$(PYTHON) -m repro.obs.schema report_check.json
+	REPRO_CHECK=1 $(PYTHON) -m repro.cli faults --seed 1 --out report_check_faults.json
+	$(PYTHON) -m repro.obs.schema report_check_faults.json
 
 # Time compile (partition/window-search) + simulate per app -> BENCH_compile.json
 bench:

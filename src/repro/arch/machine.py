@@ -19,6 +19,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro import check
 from repro.arch.cluster_modes import ClusterMode
 from repro.arch.memory_modes import McdramModel, MemoryMode
 from repro.cache.sram import CacheConfig
@@ -164,6 +165,16 @@ class Machine:
         self._channel_degrade = plan.channel_factors()
         self.router.set_faults(plan.static_dead_links(), plan.static_dead_nodes())
         self._rehome_banks()
+        if check.enabled():
+            # Check mode: no L2 bank may be homed on a tile the plan ever
+            # kills (set_faults audited the detour routes already).
+            from repro.check.invariants import require
+
+            for bank, node in enumerate(self.bank_to_node):
+                require(
+                    node not in self._dead_nodes,
+                    f"bank {bank} re-homed onto dead tile {node}",
+                )
 
     def _validate_plan(self, plan: FaultPlan) -> None:
         mesh = self.mesh

@@ -47,6 +47,11 @@ def compare(
         if app not in fresh_totals:
             problems.append(f"{app}: present in baseline but not benchmarked")
             continue
+        if base_seconds <= 0:
+            # A zero-time baseline admits no meaningful ratio (any positive
+            # fresh time would be "infinitely" slower); such entries come
+            # from clock granularity, not from a measured budget.
+            continue
         fresh_seconds = fresh_totals[app]
         limit = tolerance * base_seconds
         if fresh_seconds > limit:
@@ -55,6 +60,22 @@ def compare(
                 f"baseline {base_seconds:.2f}s (limit {limit:.2f}s)"
             )
     return problems
+
+
+def _load(path: str, role: str) -> Optional[Dict]:
+    """Parse one bench JSON; None (with a clear stderr line) on failure."""
+    try:
+        with open(path) as fh:
+            return json.load(fh)
+    except FileNotFoundError:
+        print(
+            f"error: {role} file {path!r} does not exist "
+            f"(generate it with `python -m repro.benchmarks.perf`)",
+            file=sys.stderr,
+        )
+    except json.JSONDecodeError as exc:
+        print(f"error: {role} file {path!r} is not valid JSON: {exc}", file=sys.stderr)
+    return None
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -75,10 +96,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    with open(args.baseline) as fh:
-        baseline = json.load(fh)
-    with open(args.fresh) as fh:
-        fresh = json.load(fh)
+    baseline = _load(args.baseline, "baseline")
+    fresh = _load(args.fresh, "fresh")
+    if baseline is None or fresh is None:
+        return 2
 
     baseline_totals = _totals(baseline)
     fresh_totals = _totals(fresh)
@@ -89,6 +110,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"{app:>12}  (no baseline)  fresh={new:.2f}s")
         elif new is None:
             print(f"{app:>12}  baseline={base:.2f}s  (not benchmarked)")
+        elif base <= 0:
+            print(f"{app:>12}  baseline={base:.2f}s  fresh={new:.2f}s  (no ratio)")
         else:
             print(
                 f"{app:>12}  baseline={base:.2f}s  fresh={new:.2f}s  "

@@ -24,6 +24,16 @@ degraded machine (dead links / offline tiles / slow MCDRAM channels);
 see :mod:`repro.faults`.  Library errors (unknown workload, invalid
 fault plan, ...) print one clear message to stderr and exit 2 instead
 of tracebacking.
+
+``compare``, ``report``, ``faults``, and ``experiments`` accept
+``--check`` (equivalently ``REPRO_CHECK=1``) to enable the runtime
+invariant hooks of :mod:`repro.check`: every optimized path is audited
+against its brute-force reference as the run executes, and a violation
+exits 2 with the concrete counterexample.  Checking composes freely
+with ``--faults`` and ``--trace`` and never changes a printed number.
+Conflicting flag combinations (e.g. ``--trace-debug`` without
+``--trace``, or ``faults --plan`` with generation knobs) exit 2 with a
+clear message instead of silently dropping one of the flags.
 """
 
 from __future__ import annotations
@@ -63,6 +73,38 @@ def _fault_plan_of(args):
         return None
     plan = FaultPlan.load(path)
     return None if plan.is_empty else plan
+
+
+def _flag_conflict(args) -> str:
+    """A human-readable flag-composition conflict, or '' when flags compose.
+
+    The flag audit: --check/--faults/--trace compose freely on every
+    subcommand that takes them; combinations that would silently drop one
+    flag are rejected here so the run exits 2 with a clear message
+    instead of quietly doing less than asked.
+    """
+    if getattr(args, "trace_debug", False) and not getattr(args, "trace", ""):
+        return (
+            "--trace-debug requires --trace FILE (there is no trace "
+            "stream to put the debug events on)"
+        )
+    if getattr(args, "command", "") == "faults" and args.plan:
+        knobs = [
+            name
+            for name, value in (
+                ("--seed", args.seed),
+                ("--links", args.links),
+                ("--nodes", args.nodes),
+            )
+            if value is not None
+        ]
+        if knobs:
+            return (
+                f"faults --plan supplies a ready-made plan; the generation "
+                f"knob(s) {', '.join(knobs)} would be silently ignored — "
+                "drop them or drop --plan"
+            )
+    return ""
 
 
 def _cmd_compare(args) -> int:
@@ -167,9 +209,9 @@ def _cmd_faults(args) -> int:
         plan = random_plan(
             machine.mesh.cols,
             machine.mesh.rows,
-            seed=args.seed,
-            link_count=args.links,
-            node_count=args.nodes,
+            seed=args.seed if args.seed is not None else 0,
+            link_count=args.links if args.links is not None else 2,
+            node_count=args.nodes if args.nodes is not None else 1,
             protected_nodes=set(machine.mc_nodes) | set(machine.edc_nodes),
         )
     print("fault plan:")
@@ -200,6 +242,8 @@ def _cmd_experiments(args) -> int:
     forwarded.extend(["--scale", str(args.scale), "--seed", str(args.seed)])
     if args.trace:
         forwarded.extend(["--trace", args.trace])
+    if args.check:
+        forwarded.append("--check")
     return runner_main(forwarded)
 
 
@@ -231,12 +275,21 @@ def main(argv: List[str] = None) -> int:
             help="apply this fault plan (see repro.faults) before placement",
         )
 
+    def add_check_flag(p) -> None:
+        p.add_argument(
+            "--check",
+            action="store_true",
+            help="enable runtime invariant checking (repro.check); "
+            "equivalent to REPRO_CHECK=1",
+        )
+
     compare = sub.add_parser("compare", help="default vs optimized for one app")
     compare.add_argument("app", choices=ALL_WORKLOAD_NAMES)
     compare.add_argument("--scale", type=int, default=1)
     compare.add_argument("--seed", type=int, default=0)
     add_trace_flags(compare)
     add_faults_flag(compare)
+    add_check_flag(compare)
     compare.set_defaults(func=_cmd_compare)
 
     report = sub.add_parser(
@@ -255,6 +308,7 @@ def main(argv: List[str] = None) -> int:
     )
     add_trace_flags(report)
     add_faults_flag(report)
+    add_check_flag(report)
     report.set_defaults(func=_cmd_report)
 
     faults = sub.add_parser(
@@ -268,14 +322,16 @@ def main(argv: List[str] = None) -> int:
         choices=list(ALL_WORKLOAD_NAMES) + ["tiny"],
         help="workload to degrade (default: the sub-second 'tiny' app)",
     )
+    # Generation knobs default to None so an explicit use can be detected:
+    # they conflict with --plan (which supplies the plan ready-made).
     faults.add_argument(
-        "--seed", type=int, default=0, help="fault-plan generation seed"
+        "--seed", type=int, default=None, help="fault-plan generation seed"
     )
     faults.add_argument(
-        "--links", type=int, default=2, help="mesh links to kill (default 2)"
+        "--links", type=int, default=None, help="mesh links to kill (default 2)"
     )
     faults.add_argument(
-        "--nodes", type=int, default=1, help="tiles to take offline (default 1)"
+        "--nodes", type=int, default=None, help="tiles to take offline (default 1)"
     )
     faults.add_argument(
         "--scale", type=int, default=1, help="workload scale (real apps)"
@@ -295,6 +351,7 @@ def main(argv: List[str] = None) -> int:
     faults.add_argument(
         "--out", default="", metavar="FILE", help="also write report.json"
     )
+    add_check_flag(faults)
     faults.set_defaults(func=_cmd_faults)
 
     codegen = sub.add_parser("codegen", help="show generated per-node code")
@@ -315,10 +372,22 @@ def main(argv: List[str] = None) -> int:
         metavar="FILE",
         help="write structured JSONL trace events to FILE",
     )
+    add_check_flag(experiments)
     experiments.set_defaults(func=_cmd_experiments)
 
     args = parser.parse_args(argv)
+    conflict = _flag_conflict(args)
+    if conflict:
+        print(f"error: {conflict}", file=sys.stderr)
+        return 2
     try:
+        if getattr(args, "check", False):
+            from repro import check
+
+            # Scoped (not enable()) so repeated main() calls in one
+            # process — the test suite — never leak check mode.
+            with check.checking():
+                return args.func(args)
         return args.func(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

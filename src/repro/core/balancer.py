@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from typing import Dict, Sequence
 
+from repro import check
+from repro.check import invariants
 from repro.obs.tracer import get_tracer
 
 #: Cost of each primitive operator; division is 10x (paper footnote 5).
@@ -57,6 +59,16 @@ class LoadBalancer:
         movement first); the fallback mirrors the paper's "skips this node
         and moves to the next one".
         """
+        chosen = self._choose(candidates, cost)
+        if check.enabled():
+            # Check mode: the verdict must follow the 10% rule (the chosen
+            # node passed the veto test, or every candidate was vetoed and
+            # it is the least-loaded one).  Loads are unchanged by choose,
+            # so re-asking would_unbalance here sees the same state.
+            invariants.check_balancer_choice(self, candidates, cost, chosen)
+        return chosen
+
+    def _choose(self, candidates: Sequence[int], cost: float) -> int:
         for node in candidates:
             if not self.would_unbalance(node, cost):
                 return node

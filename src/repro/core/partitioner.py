@@ -20,8 +20,10 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro import check
 from repro.arch.machine import Machine
 from repro.cache.hierarchy import CacheSystem
+from repro.check import invariants
 from repro.cache.predictor import HitMissPredictor
 from repro.core.locator import DataLocator
 from repro.core.profiling import build_split_plan, profile_statements
@@ -388,6 +390,15 @@ class NdpPartitioner:
             movement=result.movement, statements=result.statement_count
         )
         compile_span.end()
+        if check.enabled():
+            # Check mode: the finished compile must account consistently
+            # (aggregates re-sum from their decompositions), its schedule
+            # must be a well-formed dependence DAG, and on a degraded
+            # machine nothing may be placed on a tile the plan ever kills.
+            invariants.check_partition_accounting(result)
+            units = result.units()
+            invariants.check_units_wellformed(units)
+            invariants.check_unit_nodes_alive(units, self.machine.dead_nodes)
         return result
 
     def _choose_nest_plan(

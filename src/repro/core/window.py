@@ -22,7 +22,9 @@ from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 
+from repro import check
 from repro.arch.machine import Machine
+from repro.check import invariants
 from repro.core.balancer import LoadBalancer
 from repro.core.locator import DataLocator, VariableToNodeMap
 from repro.core.scheduler import (
@@ -271,8 +273,13 @@ class WindowScheduler:
                 )
         graph = self._build_sync_graph(instances, schedules)
         before = graph.arc_count()
+        arcs_before = graph.arcs() if check.enabled() else None
         graph.minimize()
         after = graph.arc_count()
+        if arcs_before is not None:
+            # Check mode: the bitmask sweep must produce exactly the unique
+            # transitive reduction of the arcs it was handed.
+            invariants.check_syncgraph_minimized(arcs_before, graph.arcs())
         tracer = get_tracer()
         if tracer.debug:
             # Per-window events are a firehose (thousands of windows per
@@ -312,6 +319,20 @@ class WindowScheduler:
         if cacheable:
             cached = self._split_cache.get(instance.seq)
             if cached is not None:
+                if check.enabled():
+                    # Check mode: a hit must be bit-equal to a recompute.
+                    # Safe to replay: cacheable implies a pure predictor, so
+                    # the duplicate location queries cannot perturb state.
+                    invariants.check_split_cache_hit(
+                        cached,
+                        split_statement(
+                            instance,
+                            self.locator,
+                            var2node,
+                            rng=self._rng,
+                            flatten_products=self.config.flatten_products,
+                        ),
+                    )
                 return cached
         split = split_statement(
             instance,

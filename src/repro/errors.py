@@ -51,3 +51,12 @@ class WorkloadError(ReproError):
 
 class FaultError(ReproError):
     """A fault plan is invalid or leaves the machine unable to operate."""
+
+
+class CheckError(ReproError):
+    """A correctness invariant or differential oracle was violated.
+
+    Raised only in check mode (``--check`` / ``REPRO_CHECK=1``) by the
+    :mod:`repro.check` subsystem: an optimized path disagreed with its
+    brute-force reference, or a runtime conservation invariant broke.
+    """

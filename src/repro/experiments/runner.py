@@ -86,6 +86,11 @@ def main(argv: List[str] = None) -> int:
         metavar="FILE",
         help="write structured JSONL trace events to FILE",
     )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="enable runtime invariant checking (repro.check) for the suite",
+    )
     args = parser.parse_args(argv)
     if args.apps:
         apps = [a.strip() for a in args.apps.split(",") if a.strip()]
@@ -103,6 +108,15 @@ def main(argv: List[str] = None) -> int:
         apps = QUICK_APPS
     else:
         apps = common.DEFAULT_APPS
+    if args.check:
+        import os
+
+        from repro import check
+
+        check.enable()
+        # Worker processes (--jobs) bootstrap their mode from the
+        # environment, so checking composes with the parallel prewarm.
+        os.environ["REPRO_CHECK"] = "1"
     if args.jobs > 1:
         common.prewarm(apps, scale=args.scale, seed=args.seed, jobs=args.jobs)
     if args.trace:

@@ -14,6 +14,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro import check
 from repro.errors import MappingError
 from repro.mem.address import AddressMapping
 from repro.mem.page_alloc import PageAllocator
@@ -208,6 +209,13 @@ class DataLayout:
                 remaining >>= width
         self._bank_maps[name] = banks
         self._bank_lists[name] = banks.tolist()
+        if check.enabled():
+            # Check mode: the fresh vectorized map must agree with the
+            # scalar per-address mapper (VA-only on both sides, so this
+            # never touches the page allocator).
+            from repro.check.invariants import check_layout_maps
+
+            check_layout_maps(self, name)
         return banks
 
     def channel_map(self, name: str) -> np.ndarray:
@@ -222,6 +230,10 @@ class DataLayout:
         )
         self._channel_maps[name] = channels
         self._channel_lists[name] = channels.tolist()
+        if check.enabled():
+            from repro.check.invariants import check_layout_maps
+
+            check_layout_maps(self, name)
         return channels
 
     def same_block(self, a_name: str, a_index: int, b_name: str, b_index: int) -> bool:

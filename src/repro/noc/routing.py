@@ -20,6 +20,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
+from repro import check
 from repro.errors import FaultError
 from repro.noc.topology import Coord, Mesh2D
 
@@ -174,6 +175,12 @@ class Router:
         self.dead_links = frozenset(dead)
         self._cache.clear()
         self.epoch += 1
+        if check.enabled():
+            # Check mode: audit the new configuration's detours against
+            # Floyd-Warshall before any consumer routes through them.
+            from repro.check.invariants import check_router_distances
+
+            check_router_distances(self)
         return self.epoch
 
     def alive(self, node: int) -> bool:

@@ -21,8 +21,10 @@ import heapq
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro import check
 from repro.arch.machine import Machine
 from repro.cache.hierarchy import CacheSystem
+from repro.check import invariants
 from repro.core.subcomputation import Subcomputation
 from repro.errors import SimulationError
 from repro.noc.network import NetworkModel, NetworkParams
@@ -287,6 +289,10 @@ class Simulator:
         metrics = SimMetrics()
         if not units:
             return metrics
+        if check.enabled():
+            # Check mode: the schedule must be a well-formed dependence DAG
+            # before a single event is simulated.
+            invariants.check_units_wellformed(units)
         tracer = get_tracer()
         trace_on = tracer.enabled
         sim_span = tracer.span("sim.run", units=len(units)) if trace_on else None
@@ -493,6 +499,10 @@ class Simulator:
         metrics.energy_breakdown = breakdown
         metrics.energy_pj = breakdown["total"]
         metrics.link_flits = dict(self.network.traffic._flits)
+        if check.enabled():
+            # Conservation: per-link and per-statement decompositions must
+            # re-sum exactly to the headline DataMovement metric.
+            invariants.check_heatmap_conservation(metrics)
         if sim_span is not None:
             sim_span.add(
                 cycles=metrics.total_cycles,

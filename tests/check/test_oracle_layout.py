@@ -1,0 +1,98 @@
+"""Differential tests: vectorized DataLayout maps vs the naive mapper."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.knl import small_machine
+from repro.check.invariants import check_layout_maps
+from repro.check.oracles import (
+    naive_bank_of_pa,
+    naive_bank_of_va,
+    naive_channel_of_pa,
+    naive_channel_of_va,
+    naive_home_node,
+)
+from repro.errors import CheckError
+from repro.mem.address import AddressMapping
+from repro.mem.layout import DataLayout
+
+
+def _layout_with(specs):
+    """A DataLayout with ``specs`` = [(length, element_size, bank_phase)]."""
+    layout = DataLayout(AddressMapping.default())
+    for ordinal, (length, element_size, phase) in enumerate(specs):
+        layout.declare(f"arr{ordinal}", length, element_size, phase)
+    return layout
+
+array_specs = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=512),     # length
+        st.sampled_from([4, 8, 16]),                 # element size
+        st.one_of(st.none(), st.integers(0, 63)),    # bank phase
+    ),
+    min_size=1,
+    max_size=4,
+)
+
+
+class TestVectorizedMapsVsNaive:
+    @given(array_specs)
+    @settings(max_examples=30, deadline=None)
+    def test_bank_and_channel_maps_match_scalar_va_mapper(self, specs):
+        layout = _layout_with(specs)
+        for spec in layout.arrays():
+            banks = layout.bank_map(spec.name).tolist()
+            channels = layout.channel_map(spec.name).tolist()
+            for index in range(spec.length):
+                assert banks[index] == naive_bank_of_va(layout, spec.name, index)
+                assert channels[index] == naive_channel_of_va(
+                    layout, spec.name, index
+                )
+
+    @given(array_specs)
+    @settings(max_examples=15, deadline=None)
+    def test_color_preservation_makes_pa_path_agree(self, specs):
+        """bank(PA) == bank(VA): the allocator keeps the color bits."""
+        layout = _layout_with(specs)
+        for spec in layout.arrays():
+            # Sample the ends and middle; the PA path allocates frames.
+            probes = sorted({0, spec.length // 2, spec.length - 1})
+            for index in probes:
+                assert naive_bank_of_pa(layout, spec.name, index) == (
+                    naive_bank_of_va(layout, spec.name, index)
+                )
+                assert naive_channel_of_pa(layout, spec.name, index) == (
+                    naive_channel_of_va(layout, spec.name, index)
+                )
+
+    def test_home_node_matches_naive_mapper(self):
+        machine = small_machine()
+        machine.declare_array("H", 256)
+        for index in range(256):
+            assert machine.home_node("H", index) == naive_home_node(
+                machine, "H", index
+            )
+
+    def test_checker_passes_on_a_fresh_layout(self):
+        layout = _layout_with([(128, 8, None), (64, 4, 3)])
+        for spec in layout.arrays():
+            layout.bank_map(spec.name)
+            layout.channel_map(spec.name)
+            check_layout_maps(layout, spec.name)
+
+    def test_checker_fires_on_corrupted_bank_map(self):
+        """Seeded counterexample: flip one vectorized bank entry."""
+        layout = _layout_with([(128, 8, None)])
+        layout.bank_map("arr0")
+        layout._bank_lists["arr0"][17] ^= 1
+        with pytest.raises(CheckError, match="bank map divergence"):
+            check_layout_maps(layout, "arr0")
+
+    def test_checker_fires_on_corrupted_channel_map(self):
+        """Seeded counterexample: flip one vectorized channel entry."""
+        layout = _layout_with([(128, 8, None)])
+        layout.channel_map("arr0")
+        layout._channel_lists["arr0"][5] ^= 1
+        with pytest.raises(CheckError, match="channel map divergence"):
+            check_layout_maps(layout, "arr0")

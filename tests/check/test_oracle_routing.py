@@ -1,0 +1,120 @@
+"""Differential tests: the fault-aware route cache vs Floyd-Warshall."""
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.check.invariants import check_router_distances
+from repro.check.oracles import INF, floyd_warshall, walk_is_valid_route
+from repro.errors import CheckError, FaultError
+from repro.faults.plan import random_plan
+from repro.noc.routing import Router, mesh_links
+from repro.noc.topology import Mesh2D
+
+meshes = st.builds(
+    Mesh2D, st.integers(min_value=2, max_value=5), st.integers(min_value=2, max_value=5)
+)
+
+
+def _degraded_router(mesh, data):
+    """A Router with a random *connected* fault configuration (or skip).
+
+    Link faults are undirected, as in a real :class:`FaultPlan` (a failed
+    physical link kills both directions): one-way dead links would make
+    reachability asymmetric, which ``check_connected`` (a sweep from one
+    live tile) deliberately does not model.
+    """
+    links = mesh_links(mesh)
+    sampled = data.draw(
+        st.lists(st.sampled_from(links), max_size=3, unique=True)
+    )
+    dead_links = [link for (a, b) in sampled for link in ((a, b), (b, a))]
+    dead_nodes = data.draw(
+        st.lists(st.integers(0, mesh.node_count - 1), max_size=2, unique=True)
+    )
+    assume(len(dead_nodes) < mesh.node_count)
+    router = Router(mesh, dead_links, dead_nodes)
+    try:
+        router.check_connected()
+    except FaultError:
+        assume(False)  # disconnecting plans are validation's problem
+    return router
+
+
+class TestHealthyRouting:
+    @given(meshes)
+    @settings(max_examples=25, deadline=None)
+    def test_manhattan_equals_floyd_warshall(self, mesh):
+        reference = floyd_warshall(mesh)
+        for src in range(mesh.node_count):
+            for dst in range(mesh.node_count):
+                assert mesh.distance(src, dst) == reference[src][dst]
+
+    @given(meshes, st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_cached_xy_route_is_a_valid_shortest_walk(self, mesh, data):
+        node = st.integers(0, mesh.node_count - 1)
+        src, dst = data.draw(node), data.draw(node)
+        router = Router(mesh)
+        links = router.route_links(src, dst)
+        assert walk_is_valid_route(links, src, dst, mesh)
+        assert len(links) == mesh.distance(src, dst)
+
+
+class TestDegradedRouting:
+    @given(meshes, st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_detour_hops_equal_floyd_warshall(self, mesh, data):
+        router = _degraded_router(mesh, data)
+        reference = floyd_warshall(mesh, router.dead_links, router.dead_nodes)
+        alive = [n for n in range(mesh.node_count) if router.alive(n)]
+        for src in alive:
+            for dst in alive:
+                expected = reference[src][dst]
+                assert expected != INF  # connected by construction
+                assert router.hops(src, dst) == int(expected)
+
+    @given(meshes, st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_detour_routes_avoid_dead_links(self, mesh, data):
+        router = _degraded_router(mesh, data)
+        alive = [n for n in range(mesh.node_count) if router.alive(n)]
+        for src in alive:
+            for dst in alive:
+                links = router.route_links(src, dst)
+                assert walk_is_valid_route(
+                    links, src, dst, mesh, router.dead_links
+                )
+
+    def test_random_plan_router_passes_the_checker(self):
+        mesh = Mesh2D(4, 4)
+        plan = random_plan(4, 4, seed=11, link_count=3, node_count=1)
+        router = Router(
+            mesh, plan.all_dead_links(), plan.all_dead_nodes()
+        )
+        check_router_distances(router)  # must not raise
+
+    def test_checker_fires_on_poisoned_route_cache(self):
+        """Seeded counterexample: plant a wrong route in the detour cache."""
+        mesh = Mesh2D(4, 4)
+        router = Router(mesh, dead_links=[(0, 1), (1, 0)])
+        good = router.route_links(0, 3)
+        # A detour that takes the dead 0->1 link: plainly invalid.
+        router._cache[(0, 3)] = ((0, 1), (1, 2), (2, 3))
+        with pytest.raises(CheckError):
+            check_router_distances(router)
+        router._cache[(0, 3)] = good  # restore; the checker passes again
+        check_router_distances(router)
+
+    def test_checker_fires_on_wrong_length_route(self):
+        """Seeded counterexample: a live but needlessly long detour."""
+        mesh = Mesh2D(4, 4)
+        router = Router(mesh, dead_links=[(0, 1), (1, 0)])
+        # 0 -> 4 -> 5 -> 1 is live but 3 hops where the minimum is... also
+        # 3 (0->4->5->1).  Use 0->2 instead: minimum is 0->4->5->6->2 (4)
+        # vs a padded walk 0->4->8->9->5->6->2 (6 hops).
+        router._cache[(0, 2)] = (
+            (0, 4), (4, 8), (8, 9), (9, 5), (5, 6), (6, 2),
+        )
+        with pytest.raises(CheckError):
+            check_router_distances(router)

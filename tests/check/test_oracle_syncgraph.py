@@ -1,0 +1,74 @@
+"""Differential tests: SyncGraph.minimize vs the reference reduction."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.check.invariants import check_syncgraph_minimized
+from repro.check.oracles import (
+    reference_transitive_closure,
+    reference_transitive_reduction,
+)
+from repro.core.syncgraph import SyncGraph
+from repro.errors import CheckError
+
+# Random DAGs: arcs (u, v) with u < v over a small node range, matching the
+# SyncGraph invariant that producers have smaller uids than consumers.
+dags = st.lists(
+    st.tuples(st.integers(0, 11), st.integers(0, 11)).filter(lambda t: t[0] < t[1]),
+    max_size=30,
+    unique=True,
+)
+
+
+def _minimized(arcs):
+    graph = SyncGraph()
+    for producer, consumer in arcs:
+        graph.add_arc(producer, consumer)
+    before = graph.arcs()
+    graph.minimize()
+    return before, graph.arcs()
+
+
+class TestMinimizeVsReference:
+    @given(dags)
+    @settings(max_examples=80, deadline=None)
+    def test_minimize_is_the_unique_reduction(self, arcs):
+        before, after = _minimized(arcs)
+        assert set(after) == reference_transitive_reduction(before)
+
+    @given(dags)
+    @settings(max_examples=80, deadline=None)
+    def test_minimize_preserves_reachability(self, arcs):
+        before, after = _minimized(arcs)
+        assert reference_transitive_closure(set(before)) == (
+            reference_transitive_closure(set(after))
+        )
+
+    @given(dags)
+    @settings(max_examples=40, deadline=None)
+    def test_runtime_checker_accepts_real_minimizations(self, arcs):
+        before, after = _minimized(arcs)
+        check_syncgraph_minimized(before, after)
+
+    def test_closure_of_a_chain(self):
+        closure = reference_transitive_closure([(1, 2), (2, 3), (3, 4)])
+        assert closure == {
+            (1, 2), (1, 3), (1, 4), (2, 3), (2, 4), (3, 4),
+        }
+
+    def test_reduction_drops_exactly_the_shortcut(self):
+        reduced = reference_transitive_reduction([(1, 2), (2, 3), (1, 3)])
+        assert reduced == {(1, 2), (2, 3)}
+
+    def test_checker_fires_on_kept_redundant_arc(self):
+        """Seeded counterexample: the shortcut arc survives minimization."""
+        before = [(1, 2), (2, 3), (1, 3)]
+        with pytest.raises(CheckError, match="not the transitive reduction"):
+            check_syncgraph_minimized(before, before)
+
+    def test_checker_fires_on_dropped_needed_arc(self):
+        """Seeded counterexample: minimization lost an ordering."""
+        before = [(1, 2), (2, 3)]
+        with pytest.raises(CheckError, match="changed reachability"):
+            check_syncgraph_minimized(before, [(1, 2)])

@@ -1,13 +1,30 @@
-"""Shared fixtures: small machines and tiny programs for fast tests."""
+"""Shared fixtures: small machines and tiny programs for fast tests.
+
+Also registers the Hypothesis profiles that keep tier-1 deterministic:
+
+* ``ci`` (the default): derandomized with a fixed seed, so every run —
+  local or CI — replays the identical example stream and a red test is
+  reproducible from its output alone.
+* ``dev``: Hypothesis defaults, for exploratory local runs; select it
+  with ``HYPOTHESIS_PROFILE=dev`` and steer it with pytest's standard
+  ``--hypothesis-seed=N`` passthrough.
+"""
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import settings
 
 from repro.arch.knl import small_machine
 from repro.ir.loop import Loop, LoopNest
 from repro.ir.parser import parse_statement
 from repro.ir.program import Program
+
+settings.register_profile("ci", derandomize=True, deadline=None)
+settings.register_profile("dev", deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
 
 
 @pytest.fixture

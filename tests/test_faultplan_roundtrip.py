@@ -1,0 +1,88 @@
+"""Fault-plan serialization round-trips and fingerprint stability.
+
+The fingerprint is a content hash used as a memoization key and report
+provenance stamp, so it must be stable across processes and Python
+versions (3.10-3.13): the canonical JSON form sorts keys and the hash
+reads that text, never an id() or dict iteration order.  The pinned
+hex digests below fail loudly if the canonical form ever drifts —
+change them only with a deliberate format bump.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults.plan import (
+    ChannelDegrade,
+    FaultPlan,
+    LinkFault,
+    NodeFault,
+    random_plan,
+)
+
+HAND_PLAN = FaultPlan(
+    seed=7,
+    links=(LinkFault(0, 1), LinkFault(5, 6, at_unit=12)),
+    nodes=(NodeFault(10),),
+    channels=(ChannelDegrade(2, 2.5),),
+    description="hand-built pinned plan",
+)
+
+
+class TestPinnedFingerprints:
+    def test_hand_built_plan_fingerprint_is_pinned(self):
+        assert HAND_PLAN.fingerprint() == "2fa7862b7f9db469"
+
+    def test_seeded_random_plan_fingerprints_are_pinned(self):
+        assert random_plan(4, 4, seed=42).fingerprint() == "219799e73e9187e7"
+        assert (
+            random_plan(6, 6, seed=3, link_count=4, node_count=2).fingerprint()
+            == "4a732df86927b3e7"
+        )
+
+    def test_fingerprint_survives_a_serialize_load_cycle(self):
+        reloaded = FaultPlan.loads(HAND_PLAN.dumps())
+        assert reloaded == HAND_PLAN
+        assert reloaded.fingerprint() == HAND_PLAN.fingerprint()
+
+    def test_fingerprint_distinguishes_different_plans(self):
+        assert HAND_PLAN.fingerprint() != FaultPlan().fingerprint()
+
+
+random_plans = st.builds(
+    random_plan,
+    cols=st.integers(3, 8),
+    rows=st.integers(3, 8),
+    seed=st.integers(0, 10_000),
+    link_count=st.integers(0, 4),
+    node_count=st.integers(0, 2),
+    degraded_channel_count=st.integers(0, 2),
+)
+
+
+class TestRandomPlanRoundTrips:
+    @given(random_plans)
+    @settings(max_examples=50, deadline=None)
+    def test_dumps_loads_is_the_identity(self, plan):
+        reloaded = FaultPlan.loads(plan.dumps())
+        assert reloaded == plan
+        assert reloaded.fingerprint() == plan.fingerprint()
+        # dumps is canonical: one more cycle produces identical bytes.
+        assert reloaded.dumps() == plan.dumps()
+
+    @given(random_plans)
+    @settings(max_examples=50, deadline=None)
+    def test_to_json_from_json_is_the_identity(self, plan):
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_same_seed_gives_same_fingerprint(self, seed):
+        first = random_plan(5, 5, seed=seed)
+        second = random_plan(5, 5, seed=seed)
+        assert first == second
+        assert first.fingerprint() == second.fingerprint()
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "plan.json"
+        HAND_PLAN.dump(str(path))
+        assert FaultPlan.load(str(path)) == HAND_PLAN

@@ -1,0 +1,92 @@
+"""Edge cases of the bench-regression comparator (repro.benchmarks.regression)."""
+
+import json
+
+from repro.benchmarks.regression import DEFAULT_TOLERANCE, compare, main
+
+
+def _payload(**totals):
+    return {
+        "apps": [
+            {"app": app, "total_seconds": seconds}
+            for app, seconds in totals.items()
+        ]
+    }
+
+
+def _write(path, payload):
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+class TestCompare:
+    def test_identical_payloads_pass(self):
+        payload = _payload(stream=1.0, stencil=2.5)
+        assert compare(payload, payload) == []
+
+    def test_regression_is_reported(self):
+        problems = compare(_payload(stream=1.0), _payload(stream=3.5))
+        assert len(problems) == 1
+        assert "stream" in problems[0]
+
+    def test_missing_fresh_app_is_a_problem(self):
+        problems = compare(_payload(stream=1.0), _payload())
+        assert problems == ["stream: present in baseline but not benchmarked"]
+
+    def test_extra_fresh_app_never_fails(self):
+        assert compare(_payload(), _payload(newapp=99.0)) == []
+
+    def test_tolerance_boundary_is_strict(self):
+        """fresh == tolerance * baseline passes; one epsilon above fails."""
+        base = _payload(stream=2.0)
+        at_limit = DEFAULT_TOLERANCE * 2.0
+        assert compare(base, _payload(stream=at_limit)) == []
+        assert len(compare(base, _payload(stream=at_limit + 1e-9))) == 1
+
+    def test_zero_time_baseline_skips_ratio_check(self):
+        """Clock-granularity zeros admit no ratio and must not fail the gate."""
+        assert compare(_payload(stream=0.0), _payload(stream=5.0)) == []
+
+    def test_custom_tolerance(self):
+        assert compare(_payload(a=1.0), _payload(a=1.5), tolerance=2.0) == []
+        assert len(compare(_payload(a=1.0), _payload(a=2.5), tolerance=2.0)) == 1
+
+
+class TestMain:
+    def test_passing_run_exits_zero(self, tmp_path, capsys):
+        baseline = _write(tmp_path / "base.json", _payload(stream=1.0))
+        fresh = _write(tmp_path / "fresh.json", _payload(stream=1.2))
+        assert main(["--baseline", baseline, "--fresh", fresh]) == 0
+        assert "ok:" in capsys.readouterr().out
+
+    def test_regressing_run_exits_one(self, tmp_path, capsys):
+        baseline = _write(tmp_path / "base.json", _payload(stream=1.0))
+        fresh = _write(tmp_path / "fresh.json", _payload(stream=100.0))
+        assert main(["--baseline", baseline, "--fresh", fresh]) == 1
+        assert "bench regression" in capsys.readouterr().err
+
+    def test_missing_baseline_file_exits_two(self, tmp_path, capsys):
+        fresh = _write(tmp_path / "fresh.json", _payload(stream=1.0))
+        missing = str(tmp_path / "nope.json")
+        assert main(["--baseline", missing, "--fresh", fresh]) == 2
+        err = capsys.readouterr().err
+        assert "does not exist" in err and "nope.json" in err
+
+    def test_missing_fresh_file_exits_two(self, tmp_path, capsys):
+        baseline = _write(tmp_path / "base.json", _payload(stream=1.0))
+        missing = str(tmp_path / "gone.json")
+        assert main(["--baseline", baseline, "--fresh", missing]) == 2
+        assert "gone.json" in capsys.readouterr().err
+
+    def test_invalid_json_exits_two(self, tmp_path, capsys):
+        baseline = tmp_path / "base.json"
+        baseline.write_text("{not json")
+        fresh = _write(tmp_path / "fresh.json", _payload(stream=1.0))
+        assert main(["--baseline", str(baseline), "--fresh", fresh]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_zero_time_entry_prints_without_ratio(self, tmp_path, capsys):
+        baseline = _write(tmp_path / "base.json", _payload(stream=0.0))
+        fresh = _write(tmp_path / "fresh.json", _payload(stream=5.0))
+        assert main(["--baseline", baseline, "--fresh", fresh]) == 0
+        assert "(no ratio)" in capsys.readouterr().out
