@@ -6,7 +6,7 @@ JOBS ?= 1
 BENCH_OUT ?= BENCH_compile.json
 APP ?= ocean
 REPORT_OUT ?= report.json
-COV_MIN ?= 75
+COV_MIN ?= 78
 
 .PHONY: test lint cov check bench bench-smoke bench-regression quick report \
 	report-smoke faults-demo

@@ -145,6 +145,30 @@ def _run_compare(args) -> int:
     return 0
 
 
+def _list_passes() -> int:
+    """Print the registered pass pipeline (``report --list-passes``)."""
+    from repro.pipeline import DEFAULT_PASS_ORDER, PASS_REGISTRY
+
+    print(f"{'pass':<14} {'paper':<10} {'module':<22} notes")
+    print(f"{'-' * 14} {'-' * 10} {'-' * 22} {'-' * 5}")
+    ordered = list(DEFAULT_PASS_ORDER) + [
+        name for name in PASS_REGISTRY if name not in DEFAULT_PASS_ORDER
+    ]
+    for name in ordered:
+        info = PASS_REGISTRY[name].info
+        notes = []
+        if info.inline:
+            notes.append("inline")
+        if not info.default:
+            notes.append("not in default order")
+        print(
+            f"{info.name:<14} {info.paper_section:<10} "
+            f"{info.module:<22} {', '.join(notes)}".rstrip()
+        )
+    print(f"\ndefault order: {' -> '.join(DEFAULT_PASS_ORDER)}")
+    return 0
+
+
 def _cmd_report(args) -> int:
     from repro.obs.report import (
         build_report,
@@ -153,6 +177,14 @@ def _cmd_report(args) -> int:
         write_report,
     )
 
+    if args.list_passes:
+        return _list_passes()
+    if not args.app:
+        print(
+            "error: report needs an APP argument (or --list-passes)",
+            file=sys.stderr,
+        )
+        return 2
     report = build_report(
         args.app,
         scale=args.scale,
@@ -160,6 +192,7 @@ def _cmd_report(args) -> int:
         trace_file=args.trace or None,
         debug_trace=args.trace_debug,
         faults=_fault_plan_of(args),
+        skip_passes=tuple(args.skip_pass),
     )
     write_report(report, args.out)
     print("\n".join(summary_lines(report)))
@@ -297,7 +330,9 @@ def main(argv: List[str] = None) -> int:
     )
     report.add_argument(
         "app",
-        choices=list(ALL_WORKLOAD_NAMES) + ["tiny"],
+        nargs="?",
+        default="",
+        choices=list(ALL_WORKLOAD_NAMES) + ["tiny", ""],
         help="workload name, or 'tiny' for the built-in sub-second app",
     )
     report.add_argument("--scale", type=int, default=1)
@@ -305,6 +340,18 @@ def main(argv: List[str] = None) -> int:
     report.add_argument("--out", default="report.json", metavar="FILE")
     report.add_argument(
         "--no-heatmap", action="store_true", help="skip the ASCII heatmap"
+    )
+    report.add_argument(
+        "--skip-pass",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="skip a registered compiler pass (repeatable; see --list-passes)",
+    )
+    report.add_argument(
+        "--list-passes",
+        action="store_true",
+        help="list the registered pass pipeline and exit",
     )
     add_trace_flags(report)
     add_faults_flag(report)

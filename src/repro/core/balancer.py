@@ -26,11 +26,18 @@ def op_cost(op: str, count: int = 1) -> float:
 
 
 class LoadBalancer:
-    """Tracks per-node load and arbitrates subcomputation placement."""
+    """Tracks per-node load and arbitrates subcomputation placement.
 
-    def __init__(self, node_count: int, threshold: float = 0.10):
+    ``enabled=False`` turns the 10% veto off entirely (every candidate
+    passes, so ``choose`` returns the first = minimum-movement one) while
+    load accounting keeps running — the ``--skip-pass balance`` pipeline
+    configuration, where ``imbalance()`` still reports the damage.
+    """
+
+    def __init__(self, node_count: int, threshold: float = 0.10, enabled: bool = True):
         self.node_count = node_count
         self.threshold = threshold
+        self.enabled = enabled
         self.load = [0.0] * node_count
         self.skips = 0
 
@@ -39,8 +46,11 @@ class LoadBalancer:
 
         The rule compares the node's would-be load against the next most
         highly-loaded node: exceeding it by more than ``threshold`` is a
-        veto.  A chip with no load anywhere never vetoes.
+        veto.  A chip with no load anywhere never vetoes, and a disabled
+        balancer never vetoes at all.
         """
+        if not self.enabled:
+            return False
         new_load = self.load[node] + cost
         others_max = max(
             (self.load[n] for n in range(self.node_count) if n != node),

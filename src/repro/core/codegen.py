@@ -75,3 +75,17 @@ def generate_code(schedules: Iterable[StatementSchedule]) -> GeneratedCode:
         for sub in schedule.subcomputations:
             lines_by_node.setdefault(sub.node, []).extend(_render(sub))
     return GeneratedCode(lines_by_node)
+
+
+def generate_for_partition(partition) -> GeneratedCode:
+    """Listing for a whole :class:`~repro.core.partitioner.PartitionResult`.
+
+    The pipeline's ``codegen`` pass (registered, not in the default order)
+    renders every nest's statement schedules in program order.
+    """
+    schedules = (
+        statement_schedule
+        for nest_schedule in partition.nest_schedules.values()
+        for statement_schedule in nest_schedule.statement_schedules()
+    )
+    return generate_code(schedules)

@@ -12,33 +12,26 @@ Glues the whole of Algorithm 1 together for a program:
    data movement (Fig 13), degree of subcomputation parallelism (Fig 14),
    synchronizations per statement (Fig 15), and the operator mix of the
    re-mapped computations (Table 3).
+
+Since the pass-pipeline refactor the stages live in
+:mod:`repro.pipeline.passes`; this class is the stable facade — it builds
+a :class:`~repro.pipeline.session.CompilationSession` around its machine
+and config and drives :func:`repro.pipeline.compile_program`.  The
+``predictor`` attribute stays caller-replaceable (the ideal-analysis
+oracle swaps one in after construction) and is handed to the pipeline at
+``partition()`` time.
 """
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro import check
 from repro.arch.machine import Machine
 from repro.cache.hierarchy import CacheSystem
-from repro.check import invariants
 from repro.cache.predictor import HitMissPredictor
-from repro.core.locator import DataLocator
-from repro.core.profiling import build_split_plan, profile_statements
-from repro.core.window import (
-    NestSchedule,
-    SearchOutcome,
-    WindowConfig,
-    WindowScheduler,
-    WindowSizeSearch,
-)
-from repro.errors import SchedulingError
-from repro.ir.dependence import may_depend
-from repro.ir.inspector import InspectorExecutor
+from repro.core.window import NestSchedule, WindowConfig
 from repro.ir.program import Program
-from repro.obs.tracer import get_tracer
 from repro.utils.stats import mean
 
 
@@ -215,14 +208,34 @@ def train_predictor(
 
 
 class NdpPartitioner:
-    """The compiler: partitions a program into scheduled subcomputations."""
+    """The compiler: partitions a program into scheduled subcomputations.
 
-    def __init__(self, machine: Machine, config: PartitionConfig = PartitionConfig()):
+    A facade over :mod:`repro.pipeline`: each ``partition()`` call runs
+    the registered pass pipeline under a fresh
+    :class:`~repro.pipeline.session.CompilationSession` built from (or
+    forwarded by) the constructor arguments.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        config: PartitionConfig = PartitionConfig(),
+        session=None,
+    ):
+        if session is not None:
+            machine = session.machine
+            config = session.config
         self.machine = machine
         self.config = config
+        self._session = session
         self.predictor: Optional[HitMissPredictor] = (
             HitMissPredictor() if config.use_predictor else None
         )
+
+    @classmethod
+    def from_session(cls, session) -> "NdpPartitioner":
+        """A partitioner driving ``session``'s machine, config, and pipeline."""
+        return cls(session.machine, session.config, session=session)
 
     def partition(self, program: Program) -> PartitionResult:
         """Run the full pipeline on ``program``.
@@ -232,365 +245,15 @@ class NdpPartitioner:
         and window-size search — emits structured span/point events;
         tracing never changes the produced schedule.
         """
-        tracer = get_tracer()
-        compile_span = tracer.span(
-            "compile", program=program.name, nests=len(program.nests)
+        from repro.pipeline import compile_program
+        from repro.pipeline.session import CompilationSession
+
+        session = self._session
+        if session is None:
+            session = CompilationSession(machine=self.machine, config=self.config)
+        # The predictor is read at call time, not construction time: the
+        # ideal-analysis baseline (and tests) replace ``self.predictor``
+        # after __init__ and expect the swap to take effect.
+        return compile_program(
+            program, session, initial={"predictor": self.predictor}
         )
-        program.declare_on(self.machine)
-        with tracer.span("compile.profile_arrays"):
-            self.machine.record_profile(
-                profile_access_counts(program, self.config.profile_instances)
-            )
-        predictor_accuracy: Optional[float] = None
-        if self.predictor is not None:
-            with tracer.span("compile.train_predictor") as train_span:
-                predictor_accuracy = train_predictor(
-                    self.machine,
-                    program,
-                    self.predictor,
-                    self.config.predictor_training_instances,
-                )
-                train_span.add(accuracy=round(predictor_accuracy, 6))
-        # Irregular nests need inspection before their indirect accesses can
-        # be resolved; the inspector also validates index data availability.
-        if may_depend(program):
-            with tracer.span("compile.inspect"):
-                InspectorExecutor(program).inspect_all()
-
-        locator = DataLocator(self.machine, self.predictor)
-        # The default placement's iteration->node assignment: unsplit
-        # statements run exactly where the default would run them, so "do
-        # not split" always degenerates to the baseline (the paper's scheme
-        # optimizes *on top of* the locality-optimized default, Section 6.1).
-        from repro.baselines.default_placement import DefaultPlacement
-
-        fallback_nodes = DefaultPlacement(self.machine).assignment(program)
-        if self.config.split_plan_override is None:
-            with tracer.span("compile.split_plan"):
-                locator_for_profiling = DataLocator(self.machine, self.predictor)
-                profiles = profile_statements(
-                    self.machine,
-                    program,
-                    locator_for_profiling,
-                    fallback_nodes,
-                    sample_per_nest=self.config.profile_instances,
-                )
-                split_plan = build_split_plan(
-                    profiles, self.config.window.split_bias
-                )
-                if tracer.enabled:
-                    for key in sorted(profiles):
-                        profile = profiles[key]
-                        tracer.point(
-                            "compile.statement_profile",
-                            nest=key[0],
-                            body_index=key[1],
-                            instances=profile.instances,
-                            star_movement=round(profile.star_movement, 6),
-                            mst_weight=round(profile.mst_weight, 6),
-                            serial_chain=profile.serial_chain,
-                            split=split_plan[key],
-                        )
-        else:
-            profiles = {}
-            split_plan = dict(self.config.split_plan_override)
-        nest_schedules: Dict[str, NestSchedule] = {}
-        window_sizes: Dict[str, int] = {}
-        movement_by_size: Dict[str, Dict[int, int]] = {}
-        variant_by_nest: Dict[str, str] = {}
-        chosen_plan: Dict = {}
-        uid_counter = itertools.count()
-        for nest in program.nests:
-            if nest.name in nest_schedules:
-                raise SchedulingError(f"duplicate nest name {nest.name!r}")
-            nest_span = tracer.span(
-                "compile.nest", nest=nest.name, statements=nest.body_size
-            )
-            # One split cache per nest, shared by the gate's candidate-plan
-            # passes, the window-size search, and the final scheduling: a
-            # statement's empty-map split depends only on its operands, so
-            # the MST work is done once per instance instead of once per
-            # pass (see WindowScheduler._split_of for the exact conditions).
-            split_cache: Dict = {}
-            reuse = None
-            if self.config.split_plan_override is not None:
-                keys = [(nest.name, b) for b in range(nest.body_size)]
-                plan = {k: bool(split_plan.get(k, False)) for k in keys}
-                variant = "override"
-            else:
-                plan, variant, reuse = self._choose_nest_plan(
-                    program, nest, locator, fallback_nodes, split_plan, profiles,
-                    split_cache, uid_counter,
-                )
-            chosen_plan.update(plan)
-            variant_by_nest[nest.name] = variant
-            if reuse is not None:
-                # The winning gate measure already scheduled the whole nest
-                # with the shared uid counter under conditions that make it
-                # bit-equal to the search below (see _choose_nest_plan);
-                # redoing the search/schedule would only repeat the work.
-                schedule, size, by_size = reuse
-                nest_schedules[nest.name] = schedule
-                window_sizes[nest.name] = size
-                movement_by_size[nest.name] = by_size
-            elif self.config.adaptive_window and any(plan.values()):
-                outcome = WindowSizeSearch(
-                    self.machine,
-                    locator,
-                    self.config.window,
-                    uid_counter=uid_counter,
-                    fallback_nodes=fallback_nodes,
-                    split_plan=plan,
-                    split_cache=split_cache,
-                ).search(program, nest)
-                nest_schedules[nest.name] = outcome.best_schedule
-                window_sizes[nest.name] = outcome.best_size
-                movement_by_size[nest.name] = outcome.movement_by_size
-            else:
-                # All-star nests (== the default execution) and fixed-window
-                # configurations skip the size search.
-                size = (
-                    1
-                    if self.config.adaptive_window
-                    else self.config.fixed_window_size
-                )
-                scheduler = WindowScheduler(
-                    self.machine,
-                    locator,
-                    self.config.window,
-                    uid_counter=uid_counter,
-                    fallback_nodes=fallback_nodes,
-                    split_plan=plan,
-                    split_cache=split_cache,
-                )
-                schedule = scheduler.schedule_nest(program, nest, size)
-                nest_schedules[nest.name] = schedule
-                window_sizes[nest.name] = size
-                movement_by_size[nest.name] = {size: schedule.movement}
-            final = nest_schedules[nest.name]
-            nest_span.add(
-                variant=variant,
-                window_size=window_sizes[nest.name],
-                movement=final.movement,
-                syncs=final.sync_count,
-                syncs_unminimized=final.sync_count_unminimized,
-                reused_gate_schedule=reuse is not None,
-            )
-            nest_span.end()
-        result = PartitionResult(
-            program_name=program.name,
-            nest_schedules=nest_schedules,
-            window_sizes=window_sizes,
-            movement_by_size=movement_by_size,
-            predictor_accuracy=predictor_accuracy,
-            variant_by_nest=variant_by_nest,
-            split_plan=chosen_plan,
-        )
-        compile_span.add(
-            movement=result.movement, statements=result.statement_count
-        )
-        compile_span.end()
-        if check.enabled():
-            # Check mode: the finished compile must account consistently
-            # (aggregates re-sum from their decompositions), its schedule
-            # must be a well-formed dependence DAG, and on a degraded
-            # machine nothing may be placed on a tile the plan ever kills.
-            invariants.check_partition_accounting(result)
-            units = result.units()
-            invariants.check_units_wellformed(units)
-            invariants.check_unit_nodes_alive(units, self.machine.dead_nodes)
-        return result
-
-    def _choose_nest_plan(
-        self,
-        program: Program,
-        nest,
-        locator: DataLocator,
-        fallback_nodes: Dict[int, int],
-        profile_plan: Dict,
-        profiles: Dict,
-        split_cache: Dict,
-        uid_counter,
-    ):
-        """Pick the nest's split plan empirically (the gate).
-
-        Candidate plans — all-star (identical to the default execution), the
-        profile-derived per-statement plan, and all-split (every statement
-        except serial-chain reductions) — are each scheduled over the nest
-        and *simulated*.  A splitting plan is accepted only when it improves
-        execution time AND does not regress data movement beyond the
-        configured tolerance (movement is the paper's first-class metric);
-        among accepted plans the fastest wins.  The all-star plan is always
-        a candidate, so a partitioned build never regresses a nest below
-        the baseline.
-        """
-        keys = [(nest.name, b) for b in range(nest.body_size)]
-        star = {key: False for key in keys}
-        from_profile = {key: bool(profile_plan.get(key, False)) for key in keys}
-        all_split = {
-            key: not (key in profiles and profiles[key].serial_chain)
-            for key in keys
-        }
-        tracer = get_tracer()
-        if self.config.window.always_split:
-            tracer.point("gate.skip", nest=nest.name, reason="always_split")
-            return all_split, "split", None
-        candidates = []
-        if any(from_profile.values()):
-            candidates.append(("profile", from_profile))
-        if any(all_split.values()) and all_split != from_profile:
-            candidates.append(("split", all_split))
-        if not candidates or self.config.gate_sample_instances < 0:
-            variant = "profile" if any(from_profile.values()) else "star"
-            tracer.point(
-                "gate.skip",
-                nest=nest.name,
-                reason="no_candidates" if not candidates else "gate_disabled",
-                variant=variant,
-            )
-            return from_profile, variant, None
-
-        star_cycles, star_movement, star_reuse = self._gate_measure(
-            program, nest, locator, fallback_nodes, star, split_cache, uid_counter
-        )
-        tracer.point(
-            "gate.candidate",
-            nest=nest.name,
-            variant="star",
-            cycles=star_cycles,
-            movement=star_movement,
-        )
-        best_plan = star
-        best_variant = "star"
-        best_cycles = star_cycles
-        best_reuse = star_reuse
-        tolerance = self.config.gate_movement_tolerance
-        for variant, plan in candidates:
-            cycles, movement, reuse = self._gate_measure(
-                program, nest, locator, fallback_nodes, plan, split_cache,
-                uid_counter,
-            )
-            accepted = (
-                cycles < best_cycles
-                and movement <= tolerance * max(star_movement, 1)
-            )
-            tracer.point(
-                "gate.candidate",
-                nest=nest.name,
-                variant=variant,
-                cycles=cycles,
-                movement=movement,
-                accepted=accepted,
-            )
-            if accepted:
-                best_cycles = cycles
-                best_plan = plan
-                best_variant = variant
-                best_reuse = reuse
-        # The winning measure's full-nest schedule can stand in for the
-        # final scheduling pass only when that pass would redo bit-equal
-        # work: the gate covered the whole nest, the final pass is the
-        # adaptive one, the size search would see the same sample, and the
-        # predictor is pure (a stateful oracle's answers depend on the
-        # query stream, so skipped queries would change later answers).
-        if best_reuse is not None:
-            count = nest.instance_count
-            sample = self.config.gate_sample_instances
-            limit = sample if sample > 0 else count
-            gate_eff = min(count, min(limit, 768))
-            cfg_sample = self.config.window.search_sample_instances
-            final_eff = min(count, cfg_sample) if cfg_sample else count
-            pure = getattr(self.predictor, "pure_predict", True)
-            reusable = (
-                self.config.adaptive_window
-                and pure
-                and limit >= count
-                and (not any(best_plan.values()) or gate_eff == final_eff)
-            )
-            if not reusable:
-                best_reuse = None
-        tracer.point(
-            "gate.verdict",
-            nest=nest.name,
-            variant=best_variant,
-            cycles=best_cycles,
-            schedule_reused=best_reuse is not None,
-        )
-        return best_plan, best_variant, best_reuse
-
-    def _gate_measure(
-        self,
-        program: Program,
-        nest,
-        locator: DataLocator,
-        fallback_nodes: Dict[int, int],
-        plan: Dict,
-        split_cache: Dict,
-        uid_counter,
-    ):
-        """(cycles, movement, reuse) of one candidate plan over the sample.
-
-        ``reuse`` is ``(NestSchedule, size, movement_by_size)`` when the
-        measure scheduled the whole nest (gate sample covers it), else
-        ``None``; the caller decides whether the final pass may adopt it.
-        """
-        from repro.sim.engine import SimConfig, Simulator
-
-        scheduler = WindowScheduler(
-            self.machine,
-            locator,
-            self.config.window,
-            uid_counter=uid_counter,
-            fallback_nodes=fallback_nodes,
-            split_plan=plan,
-            split_cache=split_cache,
-        )
-        size = 1
-        by_size = None
-        sample = self.config.gate_sample_instances
-        limit = sample if sample > 0 else nest.instance_count
-        if any(plan.values()):
-            outcome = WindowSizeSearch(
-                self.machine,
-                locator,
-                self.config.window,
-                fallback_nodes=fallback_nodes,
-                split_plan=plan,
-                split_cache=split_cache,
-            ).search_sample(program, nest, min(limit, 768))
-            size = outcome.best_size
-            by_size = outcome.movement_by_size
-        if limit >= nest.instance_count:
-            # Whole-nest measure: identical to schedule_nest's windowing.
-            schedule = scheduler.schedule_nest(program, nest, size)
-            units = [
-                sub
-                for window in schedule.windows
-                for statement_schedule in window.schedules
-                for sub in statement_schedule.subcomputations
-            ]
-            if by_size is None:
-                by_size = {size: schedule.movement}
-            reuse = (schedule, size, by_size)
-        else:
-            units = []
-            buffer = []
-            seen = 0
-            for instance in program.nest_instances(nest, program.seq_base_of(nest)):
-                buffer.append(instance)
-                seen += 1
-                if len(buffer) == size:
-                    window = scheduler.schedule_window(buffer)
-                    for statement_schedule in window.schedules:
-                        units.extend(statement_schedule.subcomputations)
-                    buffer = []
-                if seen >= limit:
-                    break
-            if buffer:
-                window = scheduler.schedule_window(buffer)
-                for statement_schedule in window.schedules:
-                    units.extend(statement_schedule.subcomputations)
-            reuse = None
-        self.machine.mcdram.reset()
-        metrics = Simulator(self.machine, SimConfig()).run(units)
-        return metrics.total_cycles, metrics.data_movement, reuse

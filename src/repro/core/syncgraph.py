@@ -14,6 +14,7 @@ per-node bitmasks in one reverse sweep.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Set, Tuple
 
 from repro.errors import SchedulingError
@@ -81,6 +82,36 @@ class SyncGraph:
                     removed += 1
             self._succ[node] = keep
         return removed
+
+    def minimize_in(self, session) -> int:
+        """Minimize under a session's pipeline shape; returns the arc count.
+
+        This is the inline ``sync_minimize`` pass: a session that skips it
+        (``--skip-pass sync_minimize``) leaves every arc in place, a
+        present session is charged the wall time, and check mode audits
+        the result against the reference transitive reduction.  ``None``
+        (bare API use, no pipeline) minimizes unconditionally, untimed.
+        """
+        from repro import check
+
+        if session is not None and not session.pass_enabled("sync_minimize"):
+            return self.arc_count()
+        arcs_before = self.arcs() if check.enabled() else None
+        if session is not None:
+            started = time.perf_counter()
+            self.minimize()
+            session.add_pass_seconds(
+                "sync_minimize", time.perf_counter() - started
+            )
+        else:
+            self.minimize()
+        if arcs_before is not None:
+            # Check mode: the bitmask sweep must produce exactly the
+            # unique transitive reduction of the arcs it was handed.
+            from repro.check import invariants
+
+            invariants.check_syncgraph_minimized(arcs_before, self.arcs())
+        return self.arc_count()
 
     def _reverse_topological(self, nodes: Set[int]) -> List[int]:
         """Nodes in reverse topological order (iterative DFS post-order)."""

@@ -185,12 +185,20 @@ class WindowScheduler:
         fallback_nodes: Optional[Dict[int, int]] = None,
         split_plan: Optional[Dict[Tuple[str, int], bool]] = None,
         split_cache: Optional[Dict[int, StatementSplit]] = None,
+        session=None,
     ):
         self.machine = machine
         self.locator = locator
         self.config = config
+        # The session carries the pipeline shape: a skipped ``balance``
+        # pass disables the 10% veto (placement takes the minimum-movement
+        # candidate unconditionally), a skipped ``sync_minimize`` leaves
+        # window sync graphs unminimized; the per-window minimize time is
+        # charged to the ``sync_minimize`` pass when a session is present.
+        self._session = session
+        balance_enabled = session is None or session.pass_enabled("balance")
         self.balancer = balancer or LoadBalancer(
-            machine.node_count, config.balance_threshold
+            machine.node_count, config.balance_threshold, enabled=balance_enabled
         )
         # seq -> StatementSplit computed against an *empty* variable2node
         # map.  The window-size search schedules the same leading instances
@@ -273,13 +281,7 @@ class WindowScheduler:
                 )
         graph = self._build_sync_graph(instances, schedules)
         before = graph.arc_count()
-        arcs_before = graph.arcs() if check.enabled() else None
-        graph.minimize()
-        after = graph.arc_count()
-        if arcs_before is not None:
-            # Check mode: the bitmask sweep must produce exactly the unique
-            # transitive reduction of the arcs it was handed.
-            invariants.check_syncgraph_minimized(arcs_before, graph.arcs())
+        after = graph.minimize_in(self._session)
         tracer = get_tracer()
         if tracer.debug:
             # Per-window events are a firehose (thousands of windows per
@@ -424,6 +426,7 @@ class WindowSizeSearch:
         fallback_nodes: Optional[Dict[int, int]] = None,
         split_plan: Optional[Dict[Tuple[str, int], bool]] = None,
         split_cache: Optional[Dict[int, StatementSplit]] = None,
+        session=None,
     ):
         self.machine = machine
         self.locator = locator
@@ -431,6 +434,8 @@ class WindowSizeSearch:
         self.uid_counter = uid_counter if uid_counter is not None else itertools.count()
         self.fallback_nodes = fallback_nodes
         self.split_plan = split_plan
+        # Forwarded to every trial scheduler (inline-pass gating + timing).
+        self._session = session
         # Shared across all candidate-size trials of this nest (and the
         # final full-nest scheduling): window-opening splits are identical
         # regardless of window size, so their MST work is done once.  The
@@ -516,6 +521,11 @@ class WindowSizeSearch:
         nest_index = next(
             i for i, candidate in enumerate(program.nests) if candidate is nest
         )
+        skipped = (
+            tuple(sorted(self._session.skip_passes))
+            if self._session is not None
+            else ()
+        )
         payloads = [
             (
                 self.machine,
@@ -527,6 +537,7 @@ class WindowSizeSearch:
                 sample,
                 self.fallback_nodes,
                 self.split_plan,
+                skipped,
             )
             for size in sizes
         ]
@@ -538,15 +549,18 @@ class WindowSizeSearch:
         return movement_by_size
 
     def _scheduler(self) -> WindowScheduler:
+        # No explicit balancer: each trial's WindowScheduler builds its own
+        # fresh one (honoring the session's balance gating), so trials stay
+        # apples-to-apples.
         return WindowScheduler(
             self.machine,
             self.locator,
             self.config,
-            LoadBalancer(self.machine.node_count, self.config.balance_threshold),
             uid_counter=self.uid_counter,
             fallback_nodes=self.fallback_nodes,
             split_plan=self.split_plan,
             split_cache=self._split_cache,
+            session=self._session,
         )
 
     def _sample_instances(
@@ -584,15 +598,30 @@ def _window_size_trial(payload) -> Tuple[int, int]:
         sample,
         fallback_nodes,
         split_plan,
+        skipped,
     ) = payload
     nest = program.nests[nest_index]
     locator = DataLocator(machine, predictor)
+    session = None
+    if skipped:
+        # Rebuild just enough session context for inline-pass gating; the
+        # worker's timings die with the process, which is fine — the parent
+        # charges the search to the schedule pass as a whole.
+        from repro.core.partitioner import PartitionConfig
+        from repro.pipeline.session import CompilationSession
+
+        session = CompilationSession(
+            machine=machine,
+            config=PartitionConfig(window=config),
+            skip_passes=frozenset(skipped),
+        )
     search = WindowSizeSearch(
         machine,
         locator,
         config,
         fallback_nodes=fallback_nodes,
         split_plan=split_plan,
+        session=session,
     )
     instances = search._sample_instances(program, nest, sample)
     movement = search._sampled_movement(search._scheduler(), instances, size)

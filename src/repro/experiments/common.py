@@ -16,9 +16,9 @@ most figures slice the same 12-app comparison differently.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import sys
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.arch.cluster_modes import ClusterMode
 from repro.arch.machine import Machine, MachineConfig
@@ -32,6 +32,77 @@ from repro.workloads import ALL_WORKLOAD_NAMES, build_workload
 
 #: Canonical application list (paper Table 1 order).
 DEFAULT_APPS: List[str] = list(ALL_WORKLOAD_NAMES)
+
+#: title -> (paper order, run function); filled by the @experiment
+#: decorator when the fig*/table* modules import.
+_EXPERIMENTS: Dict[str, Tuple[int, Callable]] = {}
+
+
+def experiment(title: str, order: int) -> Callable:
+    """Decorator registering a module's ``run`` as a named experiment.
+
+    Every ``fig*.py``/``table*.py`` decorates its ``run(apps, scale,
+    seed)`` with its paper title and ordering key; the suite runner and
+    the per-module CLIs (:func:`experiment_main`) are derived from the
+    registry instead of copy-pasted lists and argparse blocks.
+    """
+
+    def register(fn: Callable) -> Callable:
+        _EXPERIMENTS[title] = (order, fn)
+        fn.experiment_title = title
+        return fn
+
+    return register
+
+
+def all_experiments() -> List[Tuple[str, Callable]]:
+    """Registered (title, run) pairs in paper order (tables, then figures)."""
+    return [
+        (title, fn)
+        for title, (_, fn) in sorted(_EXPERIMENTS.items(), key=lambda kv: kv[1][0])
+    ]
+
+
+def parse_apps(spec: str) -> Optional[List[str]]:
+    """A validated app list from a comma-separated ``--apps`` value.
+
+    Returns ``None`` (with a message on stderr) when any name is unknown —
+    callers translate that into exit code 2.
+    """
+    apps = [app.strip() for app in spec.split(",") if app.strip()]
+    unknown = [app for app in apps if app not in ALL_WORKLOAD_NAMES]
+    if unknown:
+        print(
+            f"error: unknown app name(s): {', '.join(unknown)}; "
+            f"known apps: {', '.join(ALL_WORKLOAD_NAMES)}",
+            file=sys.stderr,
+        )
+        return None
+    return apps
+
+
+def experiment_main(run_fn: Callable, argv: Optional[List[str]] = None) -> int:
+    """Shared CLI for one experiment module: ``--apps/--scale/--seed``.
+
+    ``python -m repro.experiments.fig13_movement --apps barnes,fft`` runs
+    just that figure; unknown app names exit 2 with a message.
+    """
+    import argparse
+
+    title = getattr(run_fn, "experiment_title", run_fn.__module__)
+    parser = argparse.ArgumentParser(description=f"Run {title}.")
+    parser.add_argument("--apps", default="", help="comma-separated app subset")
+    parser.add_argument("--scale", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    apps = DEFAULT_APPS
+    if args.apps:
+        apps = parse_apps(args.apps)
+        if apps is None:
+            return 2
+    result = run_fn(apps=apps, scale=args.scale, seed=args.seed)
+    print(result.report())
+    return 0
 
 
 def paper_machine(
@@ -211,12 +282,22 @@ def run_optimized(
     sim_config: SimConfig = SimConfig(),
     faults: Optional[FaultPlan] = None,
 ) -> Tuple[PartitionResult, SimMetrics, Machine]:
-    """NDP-partitioned ``app``, simulated; returns partition + metrics."""
-    machine = paper_machine(cluster_mode, memory_mode)
-    if faults is not None and not faults.is_empty:
-        machine.apply_faults(faults)
+    """NDP-partitioned ``app``, simulated; returns partition + metrics.
+
+    Builds one :class:`~repro.pipeline.session.CompilationSession` per run
+    (which owns fault application) and compiles through the pass pipeline
+    via the :class:`NdpPartitioner` facade.
+    """
+    from repro.pipeline import session_for
+
+    session = session_for(
+        paper_machine(cluster_mode, memory_mode),
+        config=partition_config or PartitionConfig(),
+        faults=faults,
+    )
+    machine = session.machine
     program = build_workload(app, scale, seed)
-    partitioner = NdpPartitioner(machine, partition_config or PartitionConfig())
+    partitioner = NdpPartitioner.from_session(session)
     partition = partitioner.partition(program)
     machine.mcdram.reset()
     metrics = Simulator(machine, sim_config).run(partition.units())
@@ -311,10 +392,14 @@ def prewarm(
 
     Every experiment then reads memoized results, so a subsequent serial
     ``run_all`` pass emits byte-identical reports while the heavy per-app
-    compile+simulate work fans out across cores.  Two phases: (1) all
-    (app, cluster, memory) comparisons plus the ideal-analysis runs; (2)
-    the fixed-window sweeps, which need phase 1's split plans.
+    compile+simulate work fans out over :func:`repro.pipeline.run_pool`
+    (the same ``--jobs`` worker-pool idiom as ``compile_many``).  Two
+    phases: (1) all (app, cluster, memory) comparisons plus the
+    ideal-analysis runs; (2) the fixed-window sweeps, which need phase 1's
+    split plans.
     """
+    from repro.pipeline import run_pool
+
     compare_tasks = [
         (app, scale, seed, cluster, memory)
         for app in apps
@@ -322,29 +407,26 @@ def prewarm(
         for memory in memory_modes
     ]
     ideal_tasks = [(app, scale, seed) for app in apps]
-    with ProcessPoolExecutor(max_workers=jobs) as executor:
-        compare_results = list(executor.map(_prewarm_compare, compare_tasks))
-        ideal_results = list(executor.map(_prewarm_ideal, ideal_tasks))
-        for key, comparison in compare_results:
-            _CACHE[key] = comparison
-        for key, metrics in ideal_results:
-            _IDEAL_CACHE[key] = metrics
-        fixed_tasks = [
-            (
-                app,
-                size,
-                scale,
-                seed,
-                True,
-                _CACHE[
-                    (app, scale, seed, ClusterMode.QUADRANT, MemoryMode.FLAT, None)
-                ].partition.split_plan,
-            )
-            for app in apps
-            for size in window_sizes
-        ]
-        for key, metrics in executor.map(_prewarm_fixed, fixed_tasks):
-            _FIXED_CACHE[key] = metrics
+    for key, comparison in run_pool(_prewarm_compare, compare_tasks, jobs):
+        _CACHE[key] = comparison
+    for key, metrics in run_pool(_prewarm_ideal, ideal_tasks, jobs):
+        _IDEAL_CACHE[key] = metrics
+    fixed_tasks = [
+        (
+            app,
+            size,
+            scale,
+            seed,
+            True,
+            _CACHE[
+                (app, scale, seed, ClusterMode.QUADRANT, MemoryMode.FLAT, None)
+            ].partition.split_plan,
+        )
+        for app in apps
+        for size in window_sizes
+    ]
+    for key, metrics in run_pool(_prewarm_fixed, fixed_tasks, jobs):
+        _FIXED_CACHE[key] = metrics
 
 
 def format_table(headers: List[str], rows: List[List[str]]) -> str:

@@ -11,7 +11,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
-from repro.experiments.common import DEFAULT_APPS, compare_app, format_table
+from repro.experiments.common import (
+    DEFAULT_APPS,
+    compare_app,
+    experiment,
+    experiment_main,
+    format_table,
+)
 from repro.utils.stats import geomean
 
 
@@ -39,6 +45,7 @@ class Fig13Result:
         )
 
 
+@experiment("Figure 13", 13)
 def run(apps: List[str] = DEFAULT_APPS, scale: int = 1, seed: int = 0) -> Fig13Result:
     reductions: Dict[str, Tuple[float, float]] = {}
     for app in apps:
@@ -48,3 +55,7 @@ def run(apps: List[str] = DEFAULT_APPS, scale: int = 1, seed: int = 0) -> Fig13R
             comparison.movement_reduction_max(),
         )
     return Fig13Result(reductions)
+
+
+if __name__ == "__main__":
+    raise SystemExit(experiment_main(run))

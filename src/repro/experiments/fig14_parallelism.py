@@ -10,7 +10,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
-from repro.experiments.common import DEFAULT_APPS, compare_app, format_table
+from repro.experiments.common import (
+    DEFAULT_APPS,
+    compare_app,
+    experiment,
+    experiment_main,
+    format_table,
+)
 from repro.utils.stats import mean
 
 
@@ -33,6 +39,7 @@ class Fig14Result:
         )
 
 
+@experiment("Figure 14", 14)
 def run(apps: List[str] = DEFAULT_APPS, scale: int = 1, seed: int = 0) -> Fig14Result:
     parallelism: Dict[str, Tuple[float, int]] = {}
     for app in apps:
@@ -43,3 +50,7 @@ def run(apps: List[str] = DEFAULT_APPS, scale: int = 1, seed: int = 0) -> Fig14R
             partition.max_parallelism(),
         )
     return Fig14Result(parallelism)
+
+
+if __name__ == "__main__":
+    raise SystemExit(experiment_main(run))

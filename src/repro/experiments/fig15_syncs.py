@@ -11,7 +11,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
-from repro.experiments.common import DEFAULT_APPS, compare_app, format_table
+from repro.experiments.common import (
+    DEFAULT_APPS,
+    compare_app,
+    experiment,
+    experiment_main,
+    format_table,
+)
 
 
 @dataclass
@@ -30,6 +36,7 @@ class Fig15Result:
         )
 
 
+@experiment("Figure 15", 15)
 def run(apps: List[str] = DEFAULT_APPS, scale: int = 1, seed: int = 0) -> Fig15Result:
     syncs: Dict[str, Tuple[float, float]] = {}
     for app in apps:
@@ -40,3 +47,7 @@ def run(apps: List[str] = DEFAULT_APPS, scale: int = 1, seed: int = 0) -> Fig15R
             partition.syncs_per_statement_unminimized(),
         )
     return Fig15Result(syncs)
+
+
+if __name__ == "__main__":
+    raise SystemExit(experiment_main(run))

@@ -9,7 +9,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List
 
-from repro.experiments.common import DEFAULT_APPS, compare_app, format_table
+from repro.experiments.common import (
+    DEFAULT_APPS,
+    compare_app,
+    experiment,
+    experiment_main,
+    format_table,
+)
 from repro.utils.stats import mean
 
 
@@ -38,6 +44,7 @@ class Fig16Result:
         )
 
 
+@experiment("Figure 16", 16)
 def run(apps: List[str] = DEFAULT_APPS, scale: int = 1, seed: int = 0) -> Fig16Result:
     improvement: Dict[str, float] = {}
     default_rate: Dict[str, float] = {}
@@ -48,3 +55,7 @@ def run(apps: List[str] = DEFAULT_APPS, scale: int = 1, seed: int = 0) -> Fig16R
         optimized_rate[app] = comparison.optimized_metrics.l1_hit_rate()
         improvement[app] = comparison.l1_improvement()
     return Fig16Result(improvement, default_rate, optimized_rate)
+
+
+if __name__ == "__main__":
+    raise SystemExit(experiment_main(run))

@@ -15,6 +15,8 @@ from repro.baselines.ideal import ideal_network_config
 from repro.experiments.common import (
     DEFAULT_APPS,
     compare_app,
+    experiment,
+    experiment_main,
     format_table,
     paper_machine,
 )
@@ -56,6 +58,7 @@ class Fig17Result:
         )
 
 
+@experiment("Figure 17", 17)
 def run(apps: List[str] = DEFAULT_APPS, scale: int = 1, seed: int = 0) -> Fig17Result:
     reductions: Dict[str, Tuple[float, float, float]] = {}
     for app in apps:
@@ -79,3 +82,7 @@ def run(apps: List[str] = DEFAULT_APPS, scale: int = 1, seed: int = 0) -> Fig17R
 
         reductions[app] = (ours, max(ideal_net, ours), max(ideal_ana, ours))
     return Fig17Result(reductions)
+
+
+if __name__ == "__main__":
+    raise SystemExit(experiment_main(run))

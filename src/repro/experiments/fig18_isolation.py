@@ -21,8 +21,9 @@ from typing import Dict, List, Tuple
 from repro.experiments.common import (
     DEFAULT_APPS,
     compare_app,
+    experiment,
+    experiment_main,
     format_table,
-    paper_machine,
     run_default,
 )
 from repro.sim.engine import SimConfig
@@ -54,6 +55,7 @@ class Fig18Result:
         )
 
 
+@experiment("Figure 18", 18)
 def run(apps: List[str] = DEFAULT_APPS, scale: int = 1, seed: int = 0) -> Fig18Result:
     speedups: Dict[str, Tuple[float, float, float, float]] = {}
     for app in apps:
@@ -101,3 +103,7 @@ def run(apps: List[str] = DEFAULT_APPS, scale: int = 1, seed: int = 0) -> Fig18R
 
         speedups[app] = (s1, s2, s3, s4)
     return Fig18Result(speedups)
+
+
+if __name__ == "__main__":
+    raise SystemExit(experiment_main(run))

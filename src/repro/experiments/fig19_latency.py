@@ -10,7 +10,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
-from repro.experiments.common import DEFAULT_APPS, compare_app, format_table
+from repro.experiments.common import (
+    DEFAULT_APPS,
+    compare_app,
+    experiment,
+    experiment_main,
+    format_table,
+)
 
 
 @dataclass
@@ -28,9 +34,14 @@ class Fig19Result:
         )
 
 
+@experiment("Figure 19", 19)
 def run(apps: List[str] = DEFAULT_APPS, scale: int = 1, seed: int = 0) -> Fig19Result:
     reductions: Dict[str, Tuple[float, float]] = {}
     for app in apps:
         comparison = compare_app(app, scale, seed)
         reductions[app] = comparison.network_latency_reduction()
     return Fig19Result(reductions)
+
+
+if __name__ == "__main__":
+    raise SystemExit(experiment_main(run))

@@ -16,6 +16,8 @@ from typing import Dict, List
 from repro.experiments.common import (
     DEFAULT_APPS,
     compare_app,
+    experiment,
+    experiment_main,
     fixed_window_metrics,
     format_table,
 )
@@ -37,6 +39,7 @@ class Fig20Result:
         )
 
 
+@experiment("Figure 20", 20)
 def run(
     apps: List[str] = DEFAULT_APPS,
     scale: int = 1,
@@ -55,3 +58,7 @@ def run(
         per_app["adaptive"] = comparison.time_reduction()
         reductions[app] = per_app
     return Fig20Result(reductions)
+
+
+if __name__ == "__main__":
+    raise SystemExit(experiment_main(run))

@@ -13,6 +13,8 @@ from typing import Dict, List
 from repro.experiments.common import (
     DEFAULT_APPS,
     compare_app,
+    experiment,
+    experiment_main,
     fixed_window_metrics,
     format_table,
 )
@@ -34,6 +36,7 @@ class Fig21Result:
         )
 
 
+@experiment("Figure 21", 21)
 def run(
     apps: List[str] = DEFAULT_APPS,
     scale: int = 1,
@@ -50,3 +53,7 @@ def run(
             per_app[size] = metrics.l1_hit_rate() - base_rate
         improvements[app] = per_app
     return Fig21Result(improvements)
+
+
+if __name__ == "__main__":
+    raise SystemExit(experiment_main(run))

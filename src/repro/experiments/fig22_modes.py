@@ -16,7 +16,13 @@ from typing import Dict, List, Tuple
 
 from repro.arch.cluster_modes import ClusterMode
 from repro.arch.memory_modes import MemoryMode
-from repro.experiments.common import DEFAULT_APPS, compare_app, format_table
+from repro.experiments.common import (
+    DEFAULT_APPS,
+    compare_app,
+    experiment,
+    experiment_main,
+    format_table,
+)
 from repro.utils.stats import geomean
 
 ConfigKey = Tuple[str, str, int]  # (cluster label, memory label, 1=orig 2=opt)
@@ -48,6 +54,7 @@ class Fig22Result:
         )
 
 
+@experiment("Figure 22", 22)
 def run(
     apps: List[str] = DEFAULT_APPS,
     scale: int = 1,
@@ -75,3 +82,7 @@ def run(
                 )
         grid[app] = per_app
     return Fig22Result(grid)
+
+
+if __name__ == "__main__":
+    raise SystemExit(experiment_main(run))

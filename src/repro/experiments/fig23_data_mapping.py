@@ -20,6 +20,8 @@ from repro.baselines.data_mapping import profile_page_mc_mapping
 from repro.experiments.common import (
     DEFAULT_APPS,
     compare_app,
+    experiment,
+    experiment_main,
     format_table,
     paper_machine,
 )
@@ -60,6 +62,7 @@ class Fig23Result:
         )
 
 
+@experiment("Figure 23", 23)
 def run(apps: List[str] = DEFAULT_APPS, scale: int = 1, seed: int = 0) -> Fig23Result:
     reductions: Dict[str, Tuple[float, float, float]] = {}
     for app in apps:
@@ -89,3 +92,7 @@ def run(apps: List[str] = DEFAULT_APPS, scale: int = 1, seed: int = 0) -> Fig23R
 
         reductions[app] = (ours, data_only, combined)
     return Fig23Result(reductions)
+
+
+if __name__ == "__main__":
+    raise SystemExit(experiment_main(run))

@@ -15,6 +15,8 @@ from repro.baselines.ideal import ideal_network_config
 from repro.experiments.common import (
     DEFAULT_APPS,
     compare_app,
+    experiment,
+    experiment_main,
     format_table,
     paper_machine,
 )
@@ -44,6 +46,7 @@ class Fig24Result:
         )
 
 
+@experiment("Figure 24", 24)
 def run(apps: List[str] = DEFAULT_APPS, scale: int = 1, seed: int = 0) -> Fig24Result:
     reductions: Dict[str, Tuple[float, float, float]] = {}
     for app in apps:
@@ -65,3 +68,7 @@ def run(apps: List[str] = DEFAULT_APPS, scale: int = 1, seed: int = 0) -> Fig24R
 
         reductions[app] = (ours, max(net, ours), max(ana, ours))
     return Fig24Result(reductions)
+
+
+if __name__ == "__main__":
+    raise SystemExit(experiment_main(run))

@@ -17,10 +17,13 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Callable, List, Tuple
+from typing import List
 
 from repro.experiments import common
-from repro.experiments import (
+
+# Importing the modules registers each @experiment-decorated run() with
+# ``common``; the suite order comes from the registry, not this list.
+from repro.experiments import (  # noqa: F401
     fig13_movement,
     fig14_parallelism,
     fig15_syncs,
@@ -40,27 +43,9 @@ from repro.experiments import (
 
 QUICK_APPS = ["barnes", "cholesky", "ocean", "minimd"]
 
-ALL_EXPERIMENTS: List[Tuple[str, Callable]] = [
-    ("Table 1", table1_analyzable.run),
-    ("Table 2", table2_predictor.run),
-    ("Table 3", table3_opmix.run),
-    ("Figure 13", fig13_movement.run),
-    ("Figure 14", fig14_parallelism.run),
-    ("Figure 15", fig15_syncs.run),
-    ("Figure 16", fig16_l1.run),
-    ("Figure 17", fig17_exec_time.run),
-    ("Figure 18", fig18_isolation.run),
-    ("Figure 19", fig19_latency.run),
-    ("Figure 20", fig20_window.run),
-    ("Figure 21", fig21_window_l1.run),
-    ("Figure 22", fig22_modes.run),
-    ("Figure 23", fig23_data_mapping.run),
-    ("Figure 24", fig24_energy.run),
-]
-
 
 def run_all(apps: List[str], scale: int = 1, seed: int = 0, out=sys.stdout) -> None:
-    for name, experiment in ALL_EXPERIMENTS:
+    for name, experiment in common.all_experiments():
         started = time.time()
         result = experiment(apps=apps, scale=scale, seed=seed)
         elapsed = time.time() - started
@@ -93,16 +78,8 @@ def main(argv: List[str] = None) -> int:
     )
     args = parser.parse_args(argv)
     if args.apps:
-        apps = [a.strip() for a in args.apps.split(",") if a.strip()]
-        from repro.workloads import ALL_WORKLOAD_NAMES
-
-        unknown = [a for a in apps if a not in ALL_WORKLOAD_NAMES]
-        if unknown:
-            print(
-                f"error: unknown app name(s): {', '.join(unknown)}; "
-                f"known apps: {', '.join(ALL_WORKLOAD_NAMES)}",
-                file=sys.stderr,
-            )
+        apps = common.parse_apps(args.apps)
+        if apps is None:
             return 2
     elif args.quick:
         apps = QUICK_APPS

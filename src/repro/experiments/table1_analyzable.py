@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List
 
-from repro.experiments.common import DEFAULT_APPS, format_table
+from repro.experiments.common import DEFAULT_APPS, experiment, experiment_main, format_table
 from repro.ir.dependence import analyzable_fraction
 from repro.workloads import build_workload
 
@@ -42,8 +42,13 @@ class Table1Result:
         )
 
 
+@experiment("Table 1", 1)
 def run(apps: List[str] = DEFAULT_APPS, scale: int = 1, seed: int = 0) -> Table1Result:
     fractions = {
         app: analyzable_fraction(build_workload(app, scale, seed)) for app in apps
     }
     return Table1Result(fractions)
+
+
+if __name__ == "__main__":
+    raise SystemExit(experiment_main(run))

@@ -12,7 +12,13 @@ from typing import Dict, List
 
 from repro.cache.predictor import HitMissPredictor
 from repro.core.partitioner import train_predictor
-from repro.experiments.common import DEFAULT_APPS, format_table, paper_machine
+from repro.experiments.common import (
+    DEFAULT_APPS,
+    experiment,
+    experiment_main,
+    format_table,
+    paper_machine,
+)
 from repro.workloads import build_workload
 
 PAPER_VALUES: Dict[str, float] = {
@@ -40,6 +46,7 @@ class Table2Result:
         )
 
 
+@experiment("Table 2", 2)
 def run(
     apps: List[str] = DEFAULT_APPS,
     scale: int = 1,
@@ -53,3 +60,7 @@ def run(
         predictor = HitMissPredictor()
         accuracy[app] = train_predictor(machine, program, predictor, training_instances)
     return Table2Result(accuracy)
+
+
+if __name__ == "__main__":
+    raise SystemExit(experiment_main(run))

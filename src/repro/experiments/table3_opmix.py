@@ -11,7 +11,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List
 
-from repro.experiments.common import DEFAULT_APPS, compare_app, format_table
+from repro.experiments.common import (
+    DEFAULT_APPS,
+    compare_app,
+    experiment,
+    experiment_main,
+    format_table,
+)
 
 PAPER_VALUES: Dict[str, Dict[str, float]] = {
     "barnes": {"add/sub": 0.514, "mul/div": 0.262, "others": 0.224},
@@ -50,9 +56,14 @@ class Table3Result:
         )
 
 
+@experiment("Table 3", 3)
 def run(apps: List[str] = DEFAULT_APPS, scale: int = 1, seed: int = 0) -> Table3Result:
     mixes: Dict[str, Dict[str, float]] = {}
     for app in apps:
         comparison = compare_app(app, scale, seed)
         mixes[app] = comparison.partition.remapped_op_fractions()
     return Table3Result(mixes)
+
+
+if __name__ == "__main__":
+    raise SystemExit(experiment_main(run))

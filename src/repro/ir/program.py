@@ -234,6 +234,10 @@ class Program:
                     decl.name, decl.flat_length, decl.element_size, decl.bank_phase
                 )
 
+    def declare_in(self, session) -> None:
+        """Declare every array in a compilation session's machine layout."""
+        self.declare_on(session.machine)
+
     def total_instances(self) -> int:
         return sum(nest.instance_count for nest in self.nests)
 

@@ -130,6 +130,8 @@ def build_report(
     debug_trace: bool = False,
     partition_config: Optional[PartitionConfig] = None,
     faults: Optional[FaultPlan] = None,
+    skip_passes: Tuple[str, ...] = (),
+    pass_order: Optional[Tuple[str, ...]] = None,
 ) -> Dict:
     """Run ``app`` end to end and return its schema-valid report dict.
 
@@ -146,6 +148,11 @@ def build_report(
             and fills the report's ``faults`` section with the plan and
             the degraded-vs-healthy overheads; an empty (or absent) plan
             leaves the pipeline untouched and ``faults`` null.
+        skip_passes / pass_order: the pipeline shape (``--skip-pass`` /
+            pass reordering); unknown names raise
+            :class:`~repro.errors.ConfigurationError` before any work.
+            The shape, per-pass wall times, and session identity land in
+            the report's ``pipeline`` section (schema v3).
 
     The returned dict is validated against :mod:`repro.obs.schema` before
     being returned, so downstream consumers never see a malformed report.
@@ -154,8 +161,13 @@ def build_report(
         faults = None
     if trace_file is not None:
         with tracing(trace_file, debug=debug_trace):
-            return _build(app, scale, seed, trace_file, partition_config, faults)
-    return _build(app, scale, seed, None, partition_config, faults)
+            return _build(
+                app, scale, seed, trace_file, partition_config, faults,
+                skip_passes, pass_order,
+            )
+    return _build(
+        app, scale, seed, None, partition_config, faults, skip_passes, pass_order
+    )
 
 
 def _build(
@@ -165,7 +177,11 @@ def _build(
     trace_file: Optional[str],
     partition_config: Optional[PartitionConfig],
     faults: Optional[FaultPlan],
+    skip_passes: Tuple[str, ...] = (),
+    pass_order: Optional[Tuple[str, ...]] = None,
 ) -> Dict:
+    from repro.pipeline.session import session_for
+
     machine_factory, program_factory = _factories(app, scale, seed)
     phases: Dict[str, float] = {}
 
@@ -177,6 +193,16 @@ def _build(
             machine.apply_faults(faults)
         return machine
 
+    def make_session(machine: Machine, plan: Optional[FaultPlan]):
+        # The session owns fault application (machines arrive healthy here).
+        return session_for(
+            machine,
+            config=partition_config or PartitionConfig(),
+            faults=plan,
+            skip_passes=skip_passes,
+            pass_order=pass_order,
+        )
+
     # Default placement: its own machine, as in the experiment harness.
     default_machine = make_machine()
     default_program = program_factory()
@@ -185,10 +211,9 @@ def _build(
         lambda: Simulator(default_machine, SimConfig()).run(placement.units)
     )
 
-    optimized_machine = make_machine()
-    partitioner = NdpPartitioner(
-        optimized_machine, partition_config or PartitionConfig()
-    )
+    session = make_session(make_machine(apply_plan=False), faults)
+    optimized_machine = session.machine
+    partitioner = NdpPartitioner.from_session(session)
     partition, phases["partition"] = _timed(lambda: partitioner.partition(program))
     optimized_machine.mcdram.reset()
     optimized_metrics, phases["simulate_optimized"] = _timed(
@@ -200,9 +225,10 @@ def _build(
         # Degraded-vs-healthy baseline: the same optimized pipeline on an
         # unfaulted machine, so the overhead numbers isolate the plan.
         def healthy_run() -> SimMetrics:
-            machine = make_machine(apply_plan=False)
-            healthy_partition = NdpPartitioner(
-                machine, partition_config or PartitionConfig()
+            healthy_session = make_session(make_machine(apply_plan=False), None)
+            machine = healthy_session.machine
+            healthy_partition = NdpPartitioner.from_session(
+                healthy_session
             ).partition(program)
             machine.mcdram.reset()
             return Simulator(machine, SimConfig()).run(healthy_partition.units())
@@ -229,6 +255,10 @@ def _build(
         "link_heatmap": heatmap.to_json(),
         "phase_seconds": {
             name: round(seconds, 6) for name, seconds in phases.items()
+        },
+        "pipeline": {
+            **session.to_json(),
+            "pass_seconds": session.pass_seconds(),
         },
         "trace_file": trace_file,
         "faults": faults_section,

@@ -8,10 +8,10 @@ regression dashboards, the golden-file tests) may rely on, and
 dependencies.  Bump :data:`REPORT_SCHEMA_VERSION` on any breaking change
 and keep the old fields readable for one version.
 
-Schema (version 2)::
+Schema (version 3)::
 
     {
-      "schema_version": 2,
+      "schema_version": 3,
       "kind": "repro.report",
       "app": "ocean", "scale": 1, "seed": 0,
       "machine": {
@@ -43,6 +43,16 @@ Schema (version 2)::
       },
       "phase_seconds": {"build": ..., "partition": ...,
                         "simulate_default": ..., "simulate_optimized": ...},
+      "pipeline": {                    # v3: the compile pipeline's identity
+        "pass_order":     ["profile", "predict", "inspect", "split",
+                           "schedule", "balance", "sync_minimize"],
+        "skipped_passes": [],          # e.g. ["balance"] under --skip-pass
+        "pass_seconds":   {"profile": 0.01, "schedule": 1.73, ...},
+        "machine": { ...CompilationSession.to_json()["machine"]... },
+        "config":  { ...headline PartitionConfig/WindowConfig knobs... },
+        "faults_fingerprint": null,    # or the plan's fingerprint string
+        "check": false
+      },
       "trace_file": "/tmp/t.jsonl",    # or null
       "faults": null                   # healthy run; object on degraded runs:
       # {
@@ -74,8 +84,10 @@ Invariants (checked by :func:`validate_report` beyond field types):
   in range and the ``degraded_vs_healthy`` comparison is numerically
   consistent with its own healthy/degraded operands.
 
-Version history: v1 had no ``faults`` field; v1 documents (no ``faults``
-key, ``schema_version: 1``) still validate.
+Version history: v1 had no ``faults`` field; v2 added it; v3 added the
+``pipeline`` section (pass order, skipped passes, per-pass wall times,
+session identity).  v1 and v2 documents still validate — each section is
+required only from the version that introduced it.
 
 Validate from the command line (exit code 0 = valid)::
 
@@ -88,11 +100,12 @@ import json
 import sys
 from typing import Any, Dict, List
 
-REPORT_SCHEMA_VERSION = 2
+REPORT_SCHEMA_VERSION = 3
 REPORT_KIND = "repro.report"
 
-#: schema versions validate_report still accepts (v1 = pre-faults).
-SUPPORTED_SCHEMA_VERSIONS = (1, 2)
+#: schema versions validate_report still accepts
+#: (v1 = pre-faults, v2 = pre-pipeline).
+SUPPORTED_SCHEMA_VERSIONS = (1, 2, 3)
 
 #: field name -> required python type(s), for the flat top-level checks.
 _TOP_LEVEL: Dict[str, Any] = {
@@ -167,6 +180,15 @@ _FAULT_COMPARISON_FIELDS = (
     "movement_overhead",
     "time_overhead",
 )
+
+#: required fields of the ``pipeline`` section (v3+).
+_PIPELINE_FIELDS: Dict[str, Any] = {
+    "pass_order": list,
+    "skipped_passes": list,
+    "pass_seconds": dict,
+    "machine": dict,
+    "config": dict,
+}
 
 
 def _check_fields(
@@ -245,6 +267,39 @@ def validate_report(report: Any) -> List[str]:
             errors.append("report: missing field 'faults' (nullable from v2)")
         elif report["faults"] is not None:
             errors.extend(_validate_faults(report))
+
+    if report.get("schema_version") not in (1, 2):
+        if "pipeline" not in report:
+            errors.append("report: missing field 'pipeline' (required from v3)")
+        else:
+            errors.extend(_validate_pipeline(report["pipeline"]))
+    return errors
+
+
+def _validate_pipeline(pipeline: Any) -> List[str]:
+    """Structural checks of the v3 ``pipeline`` section."""
+    errors: List[str] = []
+    if not isinstance(pipeline, dict):
+        return ["pipeline: expected an object"]
+    _check_fields(pipeline, _PIPELINE_FIELDS, "pipeline", errors)
+    if errors:
+        return errors
+    for field in ("pass_order", "skipped_passes"):
+        if not all(isinstance(name, str) for name in pipeline[field]):
+            errors.append(f"pipeline.{field}: expected a list of pass names")
+    order = pipeline["pass_order"]
+    if len(set(order)) != len(order):
+        errors.append(f"pipeline.pass_order: duplicate pass name in {order}")
+    for name, seconds in pipeline["pass_seconds"].items():
+        if not isinstance(name, str) or not isinstance(seconds, (int, float)):
+            errors.append(
+                f"pipeline.pass_seconds: malformed entry {name!r}: {seconds!r}"
+            )
+    if not isinstance(pipeline.get("check"), bool):
+        errors.append("pipeline.check: expected a boolean")
+    fingerprint = pipeline.get("faults_fingerprint")
+    if fingerprint is not None and not isinstance(fingerprint, str):
+        errors.append("pipeline.faults_fingerprint: expected a string or null")
     return errors
 
 
@@ -366,8 +421,12 @@ def main(argv: List[str] = None) -> int:
         return 2
     status = 0
     for path in paths:
-        with open(path) as fh:
-            report = json.load(fh)
+        try:
+            with open(path) as fh:
+                report = json.load(fh)
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"error: {path}: {error}", file=sys.stderr)
+            return 2
         errors = validate_report(report)
         if errors:
             status = 1

@@ -1,0 +1,67 @@
+"""Batch compilation: ``compile_many`` and the shared worker pool helper.
+
+``run_pool`` is the one process-pool idiom the repo uses for every
+``--jobs`` fan-out (the experiment prewarm, the batch compile below):
+serial when ``jobs <= 1`` (bit-identical to the historical in-process
+loops), a ``ProcessPoolExecutor`` map otherwise, results always in task
+order.
+
+``compile_many`` is the batch front-end of the pass pipeline: each
+program compiles against an independent :meth:`CompilationSession.fork`
+(fresh machine, fault plan re-applied, empty caches), so batch members
+cannot observe each other — the same program compiles to the same
+schedule whether it is batched first, last, or alone.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, List, Sequence, TypeVar
+
+from repro.core.partitioner import PartitionResult
+from repro.ir.program import Program
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def run_pool(
+    fn: Callable[[_T], _R], tasks: Sequence[_T], jobs: int = 1
+) -> List[_R]:
+    """``[fn(t) for t in tasks]``, fanned over ``jobs`` worker processes.
+
+    ``jobs <= 1`` runs in-process (no pickling, no pool startup); results
+    come back in task order either way, so callers are order-independent.
+    ``fn`` must be a module-level function when ``jobs > 1`` (pickling).
+    """
+    if jobs <= 1 or len(tasks) <= 1:
+        return [fn(task) for task in tasks]
+    workers = min(jobs, len(tasks))
+    with ProcessPoolExecutor(max_workers=workers) as executor:
+        return list(executor.map(fn, tasks))
+
+
+def _compile_one(payload) -> PartitionResult:
+    """Worker: compile one program on an isolated session fork."""
+    session, program = payload
+    from repro.pipeline.manager import PassManager
+
+    fork = session.fork()
+    with fork.checking():
+        artifacts = PassManager(fork).run(program)
+    return artifacts.require("partition", "compile_many")
+
+
+def compile_many(
+    programs: Sequence[Program], session, jobs: int = 1
+) -> List[PartitionResult]:
+    """Compile every program under one session context; results in order.
+
+    Each member runs on ``session.fork()`` — the session argument supplies
+    the *context* (machine geometry, partition config, fault plan, check
+    mode, pipeline shape), not shared mutable state — so ``jobs=1`` and
+    ``jobs=N`` produce identical results.  The caller's session machine is
+    never touched.
+    """
+    payloads = [(session, program) for program in programs]
+    return run_pool(_compile_one, payloads, jobs)

@@ -1,0 +1,651 @@
+"""The registered compiler passes (the paper's §4 flow, made explicit).
+
+Every stage of the compile flow is a named :class:`Pass` in
+:data:`PASS_REGISTRY`.  The default order reproduces the historical
+``NdpPartitioner.partition`` behaviour bit-for-bit; the win is that the
+stages are now independently timeable, skippable
+(``repro.cli report --skip-pass balance``), reorderable, and extensible
+without touching the core modules.
+
+========  ==============  ==========================  =====================
+pass      paper section   what it does                module
+========  ==============  ==========================  =====================
+profile   §6.1            array access profiling      core.profiling
+predict   §4.1            L2 hit/miss predictor       cache.predictor
+inspect   §4.5            inspector for irregular     ir.inspector
+split     §4.2            MST split planning          core.profiling
+schedule  §4.3–4.4        gate + window scheduling    core.window
+balance   §4.5 (inline)   load balancing (10% rule)   core.balancer
+sync      §4.5 (inline)   sync minimization           core.syncgraph
+codegen   §4.5, Fig 8     per-node code (on demand)   core.codegen
+========  ==============  ==========================  =====================
+
+``balance`` and ``sync_minimize`` are *inline* passes: their work happens
+inside the window scheduler's hot loop, so their ``run`` methods are
+no-ops and skipping them flips a flag the scheduler consults
+(:meth:`CompilationSession.pass_enabled`).  ``codegen`` is registered but
+not part of the default order — rendering per-node listings for every
+unit is paid only when asked for.
+
+Artifacts flow between passes in an :class:`Artifacts` dict; a pass that
+needs an upstream product uses :meth:`Artifacts.require`, which raises a
+clear :class:`~repro.errors.ConfigurationError` naming the producing pass
+when the order was rearranged incompatibly.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro import check
+from repro.check import invariants
+from repro.core.locator import DataLocator
+from repro.core.partitioner import (
+    PartitionResult,
+    profile_access_counts,
+    train_predictor,
+)
+from repro.core.profiling import build_split_plan, profile_statements
+from repro.core.window import WindowScheduler, WindowSizeSearch
+from repro.errors import ConfigurationError, SchedulingError
+from repro.ir.dependence import may_depend
+from repro.ir.inspector import InspectorExecutor
+from repro.ir.program import Program
+
+
+class Artifacts(dict):
+    """The typed artifact dict flowing between passes.
+
+    Keys and producers:
+
+    ==================  ==========  =====================================
+    key                 producer    type
+    ==================  ==========  =====================================
+    program             (manager)   ir.program.Program
+    access_counts       profile     {array: dynamic access count}
+    predictor           predict     HitMissPredictor-compatible or None
+    predictor_accuracy  predict     float or None
+    inspected           inspect     bool (irregular nests resolved?)
+    fallback_nodes      split       {seq: default execution node}
+    profiles            split       {(nest, body): StatementProfile}
+    split_plan          split       {(nest, body): split?}
+    partition           schedule    core.partitioner.PartitionResult
+    generated_code      codegen     core.codegen.GeneratedCode
+    ==================  ==========  =====================================
+    """
+
+    def require(self, key: str, needed_by: str):
+        """The artifact under ``key``, or a clear wrong-order error."""
+        if key not in self:
+            producer = _PRODUCERS.get(key, "<unknown>")
+            raise ConfigurationError(
+                f"pass {needed_by!r} needs artifact {key!r}, which pass "
+                f"{producer!r} produces — it is missing from this run "
+                "(skipped or ordered after the consumer)"
+            )
+        return self[key]
+
+
+_PRODUCERS = {
+    "access_counts": "profile",
+    "predictor": "predict",
+    "predictor_accuracy": "predict",
+    "inspected": "inspect",
+    "fallback_nodes": "split",
+    "profiles": "split",
+    "split_plan": "split",
+    "partition": "schedule",
+    "generated_code": "codegen",
+}
+
+
+@dataclass(frozen=True)
+class PassInfo:
+    """Registry metadata of one pass (what ``--list-passes`` shows)."""
+
+    name: str
+    paper_section: str
+    module: str
+    #: Inline passes run inside the schedule pass's hot loop; their
+    #: position in the order is informational and skipping them flips a
+    #: scheduler flag instead of dropping a ``run`` call.
+    inline: bool = False
+    #: Whether the pass is part of the default order.
+    default: bool = True
+
+
+class Pass:
+    """Protocol of a registered pass: ``info`` metadata plus ``run``."""
+
+    info: PassInfo
+
+    def run(self, session, artifacts: Artifacts) -> None:
+        raise NotImplementedError
+
+
+PASS_REGISTRY: Dict[str, Pass] = {}
+
+
+def register_pass(cls):
+    """Class decorator: instantiate and register a pass by its name."""
+    instance = cls()
+    PASS_REGISTRY[instance.info.name] = instance
+    return cls
+
+
+def resolve_order(order: Optional[Tuple[str, ...]]) -> Tuple[str, ...]:
+    """``order`` validated against the registry (None = default order)."""
+    if order is None:
+        return DEFAULT_PASS_ORDER
+    unknown = sorted(set(order) - set(PASS_REGISTRY))
+    if unknown:
+        known = ", ".join(sorted(PASS_REGISTRY))
+        raise ConfigurationError(
+            f"unknown pass name(s): {', '.join(unknown)}; registered passes: {known}"
+        )
+    if len(set(order)) != len(order):
+        raise ConfigurationError(f"pass order lists a pass twice: {order}")
+    return tuple(order)
+
+
+@register_pass
+class ProfilePass(Pass):
+    """§6.1's profiling step: declare arrays, record access counts."""
+
+    info = PassInfo("profile", "§6.1", "repro.core.profiling")
+
+    def run(self, session, artifacts: Artifacts) -> None:
+        program: Program = artifacts.require("program", self.info.name)
+        program.declare_in(session)
+        tracer = session.tracer
+        with tracer.span("compile.profile_arrays"):
+            counts = profile_access_counts(
+                program, session.config.profile_instances
+            )
+            session.machine.record_profile(counts)
+        artifacts["access_counts"] = counts
+
+
+@register_pass
+class PredictPass(Pass):
+    """§4.1's miss prediction: train the L2 hit/miss predictor."""
+
+    info = PassInfo("predict", "§4.1", "repro.cache.predictor")
+
+    def run(self, session, artifacts: Artifacts) -> None:
+        program: Program = artifacts.require("program", self.info.name)
+        if "predictor" not in artifacts:
+            # Session-first API: build the predictor the config asks for.
+            # (The NdpPartitioner facade seeds this artifact instead, so
+            # post-construction predictor injection — the ideal-analysis
+            # oracle — keeps working.)
+            from repro.cache.predictor import HitMissPredictor
+
+            artifacts["predictor"] = (
+                HitMissPredictor() if session.config.use_predictor else None
+            )
+        predictor = artifacts["predictor"]
+        accuracy = None
+        if predictor is not None:
+            tracer = session.tracer
+            with tracer.span("compile.train_predictor") as train_span:
+                accuracy = train_predictor(
+                    session.machine,
+                    program,
+                    predictor,
+                    session.config.predictor_training_instances,
+                )
+                train_span.add(accuracy=round(accuracy, 6))
+        artifacts["predictor_accuracy"] = accuracy
+
+
+@register_pass
+class InspectPass(Pass):
+    """§4.5's inspector: resolve indirect accesses of irregular nests."""
+
+    info = PassInfo("inspect", "§4.5", "repro.ir.inspector")
+
+    def run(self, session, artifacts: Artifacts) -> None:
+        program: Program = artifacts.require("program", self.info.name)
+        inspected = False
+        if may_depend(program):
+            with session.tracer.span("compile.inspect"):
+                InspectorExecutor(program).inspect_all()
+            inspected = True
+        artifacts["inspected"] = inspected
+
+
+@register_pass
+class SplitPass(Pass):
+    """§4.2's MST split planning: profile statements, decide who splits."""
+
+    info = PassInfo("split", "§4.2", "repro.core.profiling")
+
+    def run(self, session, artifacts: Artifacts) -> None:
+        program: Program = artifacts.require("program", self.info.name)
+        machine = session.machine
+        config = session.config
+        predictor = artifacts.get("predictor")
+        tracer = session.tracer
+        # The default placement's iteration->node assignment: unsplit
+        # statements run exactly where the default would run them, so "do
+        # not split" always degenerates to the baseline (the paper's scheme
+        # optimizes *on top of* the locality-optimized default, Section 6.1).
+        from repro.baselines.default_placement import DefaultPlacement
+
+        fallback_nodes = DefaultPlacement(machine).assignment(program)
+        if config.split_plan_override is None:
+            with tracer.span("compile.split_plan"):
+                locator_for_profiling = DataLocator(machine, predictor)
+                profiles = profile_statements(
+                    machine,
+                    program,
+                    locator_for_profiling,
+                    fallback_nodes,
+                    sample_per_nest=config.profile_instances,
+                )
+                split_plan = build_split_plan(profiles, config.window.split_bias)
+                if tracer.enabled:
+                    for key in sorted(profiles):
+                        profile = profiles[key]
+                        tracer.point(
+                            "compile.statement_profile",
+                            nest=key[0],
+                            body_index=key[1],
+                            instances=profile.instances,
+                            star_movement=round(profile.star_movement, 6),
+                            mst_weight=round(profile.mst_weight, 6),
+                            serial_chain=profile.serial_chain,
+                            split=split_plan[key],
+                        )
+        else:
+            profiles = {}
+            split_plan = dict(config.split_plan_override)
+        artifacts["fallback_nodes"] = fallback_nodes
+        artifacts["profiles"] = profiles
+        artifacts["split_plan"] = split_plan
+
+
+@register_pass
+class SchedulePass(Pass):
+    """§4.3–4.4: the per-nest empirical gate, window search, scheduling."""
+
+    info = PassInfo("schedule", "§4.3–4.4", "repro.core.window")
+
+    def run(self, session, artifacts: Artifacts) -> None:
+        program: Program = artifacts.require("program", self.info.name)
+        machine = session.machine
+        config = session.config
+        tracer = session.tracer
+        predictor = artifacts.get("predictor")
+        locator = DataLocator(machine, predictor)
+        # Graceful degradation when upstream passes were skipped: no
+        # fallback assignment (run the default placement now — schedule
+        # cannot work without it) and an empty split plan (all-star).
+        if "fallback_nodes" in artifacts:
+            fallback_nodes = artifacts["fallback_nodes"]
+        else:
+            from repro.baselines.default_placement import DefaultPlacement
+
+            fallback_nodes = DefaultPlacement(machine).assignment(program)
+        split_plan = artifacts.get("split_plan", {})
+        profiles = artifacts.get("profiles", {})
+
+        nest_schedules: Dict = {}
+        window_sizes: Dict[str, int] = {}
+        movement_by_size: Dict[str, Dict[int, int]] = {}
+        variant_by_nest: Dict[str, str] = {}
+        chosen_plan: Dict = {}
+        uid_counter = itertools.count()
+        for nest in program.nests:
+            if nest.name in nest_schedules:
+                raise SchedulingError(f"duplicate nest name {nest.name!r}")
+            nest_span = tracer.span(
+                "compile.nest", nest=nest.name, statements=nest.body_size
+            )
+            # One split cache per nest, shared by the gate's candidate-plan
+            # passes, the window-size search, and the final scheduling: a
+            # statement's empty-map split depends only on its operands, so
+            # the MST work is done once per instance instead of once per
+            # pass (see WindowScheduler._split_of for the exact conditions).
+            split_cache = session.caches.split_cache_for(nest.name)
+            reuse = None
+            if config.split_plan_override is not None:
+                keys = [(nest.name, b) for b in range(nest.body_size)]
+                plan = {k: bool(split_plan.get(k, False)) for k in keys}
+                variant = "override"
+            else:
+                plan, variant, reuse = self._choose_nest_plan(
+                    session, program, nest, locator, fallback_nodes,
+                    split_plan, profiles, split_cache, uid_counter, predictor,
+                )
+            chosen_plan.update(plan)
+            variant_by_nest[nest.name] = variant
+            if reuse is not None:
+                # The winning gate measure already scheduled the whole nest
+                # with the shared uid counter under conditions that make it
+                # bit-equal to the search below (see _choose_nest_plan);
+                # redoing the search/schedule would only repeat the work.
+                schedule, size, by_size = reuse
+                nest_schedules[nest.name] = schedule
+                window_sizes[nest.name] = size
+                movement_by_size[nest.name] = by_size
+            elif config.adaptive_window and any(plan.values()):
+                outcome = WindowSizeSearch(
+                    machine,
+                    locator,
+                    config.window,
+                    uid_counter=uid_counter,
+                    fallback_nodes=fallback_nodes,
+                    split_plan=plan,
+                    split_cache=split_cache,
+                    session=session,
+                ).search(program, nest)
+                nest_schedules[nest.name] = outcome.best_schedule
+                window_sizes[nest.name] = outcome.best_size
+                movement_by_size[nest.name] = outcome.movement_by_size
+            else:
+                # All-star nests (== the default execution) and fixed-window
+                # configurations skip the size search.
+                size = 1 if config.adaptive_window else config.fixed_window_size
+                scheduler = WindowScheduler(
+                    machine,
+                    locator,
+                    config.window,
+                    uid_counter=uid_counter,
+                    fallback_nodes=fallback_nodes,
+                    split_plan=plan,
+                    split_cache=split_cache,
+                    session=session,
+                )
+                schedule = scheduler.schedule_nest(program, nest, size)
+                nest_schedules[nest.name] = schedule
+                window_sizes[nest.name] = size
+                movement_by_size[nest.name] = {size: schedule.movement}
+            final = nest_schedules[nest.name]
+            nest_span.add(
+                variant=variant,
+                window_size=window_sizes[nest.name],
+                movement=final.movement,
+                syncs=final.sync_count,
+                syncs_unminimized=final.sync_count_unminimized,
+                reused_gate_schedule=reuse is not None,
+            )
+            nest_span.end()
+        result = PartitionResult(
+            program_name=program.name,
+            nest_schedules=nest_schedules,
+            window_sizes=window_sizes,
+            movement_by_size=movement_by_size,
+            predictor_accuracy=artifacts.get("predictor_accuracy"),
+            variant_by_nest=variant_by_nest,
+            split_plan=chosen_plan,
+        )
+        if check.enabled():
+            # Check mode: the finished compile must account consistently
+            # (aggregates re-sum from their decompositions), its schedule
+            # must be a well-formed dependence DAG, and on a degraded
+            # machine nothing may be placed on a tile the plan ever kills.
+            invariants.check_partition_accounting(result)
+            units = result.units()
+            invariants.check_units_wellformed(units)
+            invariants.check_unit_nodes_alive(units, machine.dead_nodes)
+        artifacts["partition"] = result
+
+    def _choose_nest_plan(
+        self,
+        session,
+        program: Program,
+        nest,
+        locator: DataLocator,
+        fallback_nodes: Dict[int, int],
+        profile_plan: Dict,
+        profiles: Dict,
+        split_cache: Dict,
+        uid_counter,
+        predictor,
+    ):
+        """Pick the nest's split plan empirically (the gate).
+
+        Candidate plans — all-star (identical to the default execution), the
+        profile-derived per-statement plan, and all-split (every statement
+        except serial-chain reductions) — are each scheduled over the nest
+        and *simulated*.  A splitting plan is accepted only when it improves
+        execution time AND does not regress data movement beyond the
+        configured tolerance (movement is the paper's first-class metric);
+        among accepted plans the fastest wins.  The all-star plan is always
+        a candidate, so a partitioned build never regresses a nest below
+        the baseline.
+        """
+        config = session.config
+        keys = [(nest.name, b) for b in range(nest.body_size)]
+        star = {key: False for key in keys}
+        from_profile = {key: bool(profile_plan.get(key, False)) for key in keys}
+        all_split = {
+            key: not (key in profiles and profiles[key].serial_chain)
+            for key in keys
+        }
+        tracer = session.tracer
+        if config.window.always_split:
+            tracer.point("gate.skip", nest=nest.name, reason="always_split")
+            return all_split, "split", None
+        candidates = []
+        if any(from_profile.values()):
+            candidates.append(("profile", from_profile))
+        if any(all_split.values()) and all_split != from_profile:
+            candidates.append(("split", all_split))
+        if not candidates or config.gate_sample_instances < 0:
+            variant = "profile" if any(from_profile.values()) else "star"
+            tracer.point(
+                "gate.skip",
+                nest=nest.name,
+                reason="no_candidates" if not candidates else "gate_disabled",
+                variant=variant,
+            )
+            return from_profile, variant, None
+
+        star_cycles, star_movement, star_reuse = self._gate_measure(
+            session, program, nest, locator, fallback_nodes, star,
+            split_cache, uid_counter,
+        )
+        tracer.point(
+            "gate.candidate",
+            nest=nest.name,
+            variant="star",
+            cycles=star_cycles,
+            movement=star_movement,
+        )
+        best_plan = star
+        best_variant = "star"
+        best_cycles = star_cycles
+        best_reuse = star_reuse
+        tolerance = config.gate_movement_tolerance
+        for variant, plan in candidates:
+            cycles, movement, reuse = self._gate_measure(
+                session, program, nest, locator, fallback_nodes, plan,
+                split_cache, uid_counter,
+            )
+            accepted = (
+                cycles < best_cycles
+                and movement <= tolerance * max(star_movement, 1)
+            )
+            tracer.point(
+                "gate.candidate",
+                nest=nest.name,
+                variant=variant,
+                cycles=cycles,
+                movement=movement,
+                accepted=accepted,
+            )
+            if accepted:
+                best_cycles = cycles
+                best_plan = plan
+                best_variant = variant
+                best_reuse = reuse
+        # The winning measure's full-nest schedule can stand in for the
+        # final scheduling pass only when that pass would redo bit-equal
+        # work: the gate covered the whole nest, the final pass is the
+        # adaptive one, the size search would see the same sample, and the
+        # predictor is pure (a stateful oracle's answers depend on the
+        # query stream, so skipped queries would change later answers).
+        if best_reuse is not None:
+            count = nest.instance_count
+            sample = config.gate_sample_instances
+            limit = sample if sample > 0 else count
+            gate_eff = min(count, min(limit, 768))
+            cfg_sample = config.window.search_sample_instances
+            final_eff = min(count, cfg_sample) if cfg_sample else count
+            pure = getattr(predictor, "pure_predict", True)
+            reusable = (
+                config.adaptive_window
+                and pure
+                and limit >= count
+                and (not any(best_plan.values()) or gate_eff == final_eff)
+            )
+            if not reusable:
+                best_reuse = None
+        tracer.point(
+            "gate.verdict",
+            nest=nest.name,
+            variant=best_variant,
+            cycles=best_cycles,
+            schedule_reused=best_reuse is not None,
+        )
+        return best_plan, best_variant, best_reuse
+
+    def _gate_measure(
+        self,
+        session,
+        program: Program,
+        nest,
+        locator: DataLocator,
+        fallback_nodes: Dict[int, int],
+        plan: Dict,
+        split_cache: Dict,
+        uid_counter,
+    ):
+        """(cycles, movement, reuse) of one candidate plan over the sample.
+
+        ``reuse`` is ``(NestSchedule, size, movement_by_size)`` when the
+        measure scheduled the whole nest (gate sample covers it), else
+        ``None``; the caller decides whether the final pass may adopt it.
+        """
+        from repro.sim.engine import SimConfig, Simulator
+
+        machine = session.machine
+        config = session.config
+        scheduler = WindowScheduler(
+            machine,
+            locator,
+            config.window,
+            uid_counter=uid_counter,
+            fallback_nodes=fallback_nodes,
+            split_plan=plan,
+            split_cache=split_cache,
+            session=session,
+        )
+        size = 1
+        by_size = None
+        sample = config.gate_sample_instances
+        limit = sample if sample > 0 else nest.instance_count
+        if any(plan.values()):
+            outcome = WindowSizeSearch(
+                machine,
+                locator,
+                config.window,
+                fallback_nodes=fallback_nodes,
+                split_plan=plan,
+                split_cache=split_cache,
+                session=session,
+            ).search_sample(program, nest, min(limit, 768))
+            size = outcome.best_size
+            by_size = outcome.movement_by_size
+        if limit >= nest.instance_count:
+            # Whole-nest measure: identical to schedule_nest's windowing.
+            schedule = scheduler.schedule_nest(program, nest, size)
+            units = [
+                sub
+                for window in schedule.windows
+                for statement_schedule in window.schedules
+                for sub in statement_schedule.subcomputations
+            ]
+            if by_size is None:
+                by_size = {size: schedule.movement}
+            reuse = (schedule, size, by_size)
+        else:
+            units = []
+            buffer = []
+            seen = 0
+            for instance in program.nest_instances(nest, program.seq_base_of(nest)):
+                buffer.append(instance)
+                seen += 1
+                if len(buffer) == size:
+                    window = scheduler.schedule_window(buffer)
+                    for statement_schedule in window.schedules:
+                        units.extend(statement_schedule.subcomputations)
+                    buffer = []
+                if seen >= limit:
+                    break
+            if buffer:
+                window = scheduler.schedule_window(buffer)
+                for statement_schedule in window.schedules:
+                    units.extend(statement_schedule.subcomputations)
+            reuse = None
+        machine.mcdram.reset()
+        metrics = Simulator(machine, SimConfig()).run(units)
+        return metrics.total_cycles, metrics.data_movement, reuse
+
+
+@register_pass
+class BalancePass(Pass):
+    """§4.5's load balancing — inline in the scheduler's placement loop.
+
+    Skipping this pass makes the scheduler take the minimum-movement
+    candidate unconditionally (no 10% veto): the scheduler constructs its
+    :class:`repro.core.balancer.LoadBalancer` with ``enabled=False``.
+    """
+
+    info = PassInfo("balance", "§4.5", "repro.core.balancer", inline=True)
+
+    def run(self, session, artifacts: Artifacts) -> None:
+        """No-op: the work happens inside the schedule pass's hot loop."""
+
+
+@register_pass
+class SyncMinimizePass(Pass):
+    """§4.5's synchronization minimization — inline per window.
+
+    Skipping this pass leaves every window's sync graph unminimized
+    (``sync_count == sync_count_unminimized``); the accumulated wall time
+    of the per-window ``minimize()`` calls is charged to this pass.
+    """
+
+    info = PassInfo("sync_minimize", "§4.5", "repro.core.syncgraph", inline=True)
+
+    def run(self, session, artifacts: Artifacts) -> None:
+        """No-op: the work happens per window in the schedule pass."""
+
+
+@register_pass
+class CodegenPass(Pass):
+    """§4.5 / Figure 8: per-node code generation (on demand)."""
+
+    info = PassInfo(
+        "codegen", "§4.5, Fig 8", "repro.core.codegen", default=False
+    )
+
+    def run(self, session, artifacts: Artifacts) -> None:
+        from repro.core.codegen import generate_for_partition
+
+        partition = artifacts.require("partition", self.info.name)
+        artifacts["generated_code"] = generate_for_partition(partition)
+
+
+#: The registry's default order: every non-inline default pass in the
+#: paper's sequence, with the inline passes listed where the paper puts
+#: their work (after windowing).
+DEFAULT_PASS_ORDER: Tuple[str, ...] = tuple(
+    p.info.name for p in PASS_REGISTRY.values() if p.info.default
+)

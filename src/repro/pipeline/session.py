@@ -1,0 +1,243 @@
+"""The :class:`CompilationSession`: one object owning a compile's context.
+
+Before this layer existed, every cross-cutting concern — the machine and
+its data layout, the window configuration, an optional fault plan, the
+tracer, check mode, and the per-nest split caches — was threaded through
+the partitioner, window search, scheduler, balancer, and codegen as loose
+keyword arguments.  The session bundles all of it:
+
+* **construction state** — machine (and through it the layout), the
+  :class:`~repro.core.partitioner.PartitionConfig`, an optional
+  :class:`~repro.faults.FaultPlan`, and the check-mode flag;
+* **pipeline shape** — the pass order and the set of skipped passes
+  (see :mod:`repro.pipeline.passes` for the registry);
+* **run state** — per-pass wall-clock timings and the cross-pass caches
+  (today: the per-nest statement-split caches shared by the gate, the
+  window-size search, and the final scheduling pass).
+
+One session corresponds to one compile context.  ``fork()`` derives an
+independent sibling (fresh machine built from the same
+:class:`~repro.arch.machine.MachineConfig`, fault plan re-applied, empty
+caches) — the unit of isolation for :func:`repro.pipeline.compile_many`
+and for worker processes.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from repro.arch.machine import Machine
+from repro.core.partitioner import PartitionConfig
+from repro.errors import ConfigurationError
+from repro.faults import FaultPlan
+from repro.obs.tracer import get_tracer
+
+
+#: Sentinel distinguishing "inherit the plan" from an explicit ``None``.
+_INHERIT = object()
+
+
+class SessionCaches:
+    """Mutable caches owned by one session, scoped to one compile run.
+
+    ``split_caches`` maps nest name -> (instance seq -> StatementSplit);
+    one cache per nest is shared by the empirical gate's candidate-plan
+    passes, the window-size search, and the final scheduling (a
+    window-opening statement's split depends only on its operands, so the
+    MST work is done once per instance instead of once per pass).
+    """
+
+    def __init__(self) -> None:
+        self.split_caches: Dict[str, Dict] = {}
+
+    def split_cache_for(self, nest_name: str) -> Dict:
+        """The (lazily created) split cache of one nest."""
+        return self.split_caches.setdefault(nest_name, {})
+
+    def clear(self) -> None:
+        """Drop all cached state (called at the start of each compile)."""
+        self.split_caches.clear()
+
+
+@dataclass
+class CompilationSession:
+    """Everything one compile needs, in one place.
+
+    The pass pipeline (:mod:`repro.pipeline.passes`) reads its inputs from
+    here and records its per-pass timings here; core modules receive the
+    session instead of loose ``machine=``/``config=``/``faults=`` keyword
+    plumbing.
+    """
+
+    machine: Machine
+    config: PartitionConfig = field(default_factory=PartitionConfig)
+    faults: Optional[FaultPlan] = None
+    check: bool = False
+    #: Pass names to execute, in order.  ``None`` means the registry's
+    #: default order (:data:`repro.pipeline.passes.DEFAULT_PASS_ORDER`).
+    pass_order: Optional[Tuple[str, ...]] = None
+    #: Pass names to skip (validated against the order at run time).
+    skip_passes: FrozenSet[str] = frozenset()
+    #: Per-pass wall-clock seconds, accumulated by the PassManager (and,
+    #: for inline passes such as ``sync_minimize``, by the scheduler).
+    timings: Dict[str, float] = field(default_factory=dict)
+    caches: SessionCaches = field(default_factory=SessionCaches)
+    _faults_applied: bool = field(default=False, repr=False)
+
+    # -- derived context ---------------------------------------------------
+
+    @property
+    def layout(self):
+        """The machine's data layout (arrays -> banks/channels/homes)."""
+        return self.machine.layout
+
+    @property
+    def tracer(self):
+        """The active tracer (the session never outlives a tracing scope)."""
+        return get_tracer()
+
+    @property
+    def window(self):
+        """The window configuration (shorthand for ``config.window``)."""
+        return self.config.window
+
+    def pass_enabled(self, name: str) -> bool:
+        """False when ``name`` is skipped for this session."""
+        return name not in self.skip_passes
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def apply_faults(self) -> None:
+        """Degrade the machine per the fault plan (once per session)."""
+        if self.faults is None or self.faults.is_empty or self._faults_applied:
+            return
+        self.machine.apply_faults(self.faults)
+        self._faults_applied = True
+
+    def fork(self, *, faults=_INHERIT) -> "CompilationSession":
+        """An independent sibling session: fresh machine, empty caches.
+
+        The new machine is rebuilt from this machine's
+        :class:`~repro.arch.machine.MachineConfig` and the fault plan
+        (inherited unless overridden) is applied to it immediately, so the
+        fork is ready to compile.  Used by :func:`repro.pipeline.compile_many`
+        to isolate batch members and worker processes from each other.
+        """
+        plan = self.faults if faults is _INHERIT else faults
+        fork = CompilationSession(
+            machine=Machine(self.machine.config),
+            config=self.config,
+            faults=plan,
+            check=self.check,
+            pass_order=self.pass_order,
+            skip_passes=self.skip_passes,
+        )
+        fork.apply_faults()
+        return fork
+
+    @contextmanager
+    def checking(self):
+        """Scoped check mode: active when the session (or env) asks for it."""
+        from repro import check
+
+        with check.checking(self.check or check.enabled()):
+            yield
+
+    # -- timing ------------------------------------------------------------
+
+    def add_pass_seconds(self, name: str, seconds: float) -> None:
+        """Accumulate wall time against pass ``name``."""
+        self.timings[name] = self.timings.get(name, 0.0) + seconds
+
+    @contextmanager
+    def timed_pass(self, name: str):
+        """Time a block and charge it to pass ``name``."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_pass_seconds(name, time.perf_counter() - started)
+
+    def pass_seconds(self) -> Dict[str, float]:
+        """Per-pass wall seconds, rounded for serialization."""
+        return {name: round(seconds, 6) for name, seconds in self.timings.items()}
+
+    # -- serialization -----------------------------------------------------
+
+    def to_json(self) -> Dict:
+        """The session's identity for ``report.json`` (schema v3).
+
+        Captures what shaped the compile — machine geometry, the headline
+        partitioning knobs, fault fingerprint, check mode, and the pipeline
+        shape — without the bulky runtime state (caches, schedules).
+        """
+        from repro.pipeline.passes import resolve_order
+
+        config = self.machine.config
+        window = self.config.window
+        return {
+            "machine": {
+                "mesh_cols": config.mesh_cols,
+                "mesh_rows": config.mesh_rows,
+                "l1_capacity": config.l1_capacity,
+                "l2_bank_count": config.l2_bank_count,
+                "cluster_mode": config.cluster_mode.name.lower(),
+                "memory_mode": config.memory_mode.name.lower(),
+            },
+            "config": {
+                "adaptive_window": self.config.adaptive_window,
+                "fixed_window_size": self.config.fixed_window_size,
+                "use_predictor": self.config.use_predictor,
+                "gate_sample_instances": self.config.gate_sample_instances,
+                "max_window_size": window.max_window_size,
+                "reuse_aware": window.reuse_aware,
+                "split_bias": window.split_bias,
+            },
+            "faults_fingerprint": (
+                None
+                if self.faults is None or self.faults.is_empty
+                else self.faults.fingerprint()
+            ),
+            "check": bool(self.check),
+            "pass_order": list(resolve_order(self.pass_order)),
+            "skipped_passes": sorted(self.skip_passes),
+        }
+
+
+def session_for(
+    machine: Machine,
+    config: Optional[PartitionConfig] = None,
+    faults: Optional[FaultPlan] = None,
+    check: bool = False,
+    skip_passes=(),
+    pass_order: Optional[Tuple[str, ...]] = None,
+) -> CompilationSession:
+    """Build a session, validating the pipeline shape eagerly.
+
+    Unknown pass names (in ``skip_passes`` or ``pass_order``) raise
+    :class:`~repro.errors.ConfigurationError` here, at construction, so CLI
+    front-ends can exit 2 with a clear message before any work happens.
+    """
+    from repro.pipeline.passes import PASS_REGISTRY, resolve_order
+
+    skip = frozenset(skip_passes)
+    unknown = sorted(name for name in skip if name not in PASS_REGISTRY)
+    if unknown:
+        known = ", ".join(sorted(PASS_REGISTRY))
+        raise ConfigurationError(
+            f"unknown pass name(s): {', '.join(unknown)}; registered passes: {known}"
+        )
+    resolve_order(pass_order)  # raises ConfigurationError on unknown names
+    session = CompilationSession(
+        machine=machine,
+        config=config or PartitionConfig(),
+        faults=None if faults is not None and faults.is_empty else faults,
+        check=check,
+        pass_order=pass_order,
+        skip_passes=skip,
+    )
+    session.apply_faults()
+    return session

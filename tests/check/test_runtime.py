@@ -30,7 +30,7 @@ from repro.ir.program import Program
 from repro.obs.report import build_report
 from repro.sim.metrics import SimMetrics
 
-VOLATILE_KEYS = {"phase_seconds", "trace_file"}
+VOLATILE_KEYS = {"phase_seconds", "trace_file", "pass_seconds"}
 
 
 def _scrub(obj):

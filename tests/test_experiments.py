@@ -49,6 +49,34 @@ class TestCommon:
         assert lines[0].startswith("a")
 
 
+class TestRegistry:
+    def test_all_fifteen_experiments_registered_in_paper_order(self):
+        from repro.experiments import runner  # noqa: F401 — triggers imports
+
+        titles = [title for title, _ in common.all_experiments()]
+        assert titles == [
+            "Table 1", "Table 2", "Table 3",
+            "Figure 13", "Figure 14", "Figure 15", "Figure 16", "Figure 17",
+            "Figure 18", "Figure 19", "Figure 20", "Figure 21", "Figure 22",
+            "Figure 23", "Figure 24",
+        ]
+
+    def test_parse_apps_accepts_known_rejects_unknown(self, capsys):
+        assert common.parse_apps("barnes, fft") == ["barnes", "fft"]
+        assert common.parse_apps("nope") is None
+        assert "unknown app name" in capsys.readouterr().err
+
+    def test_experiment_main_runs_one_module(self, capsys):
+        rc = common.experiment_main(fig13_movement.run, ["--apps", APPS[0]])
+        assert rc == 0
+        assert "Figure 13" in capsys.readouterr().out
+
+    def test_experiment_main_exits_2_on_unknown_app(self, capsys):
+        rc = common.experiment_main(fig13_movement.run, ["--apps", "nope"])
+        assert rc == 2
+        assert "unknown app name" in capsys.readouterr().err
+
+
 class TestTables:
     def test_table1(self):
         result = table1_analyzable.run(apps=APPS)
