@@ -9,7 +9,7 @@ REPORT_OUT ?= report.json
 COV_MIN ?= 78
 
 .PHONY: test lint cov check bench bench-smoke bench-regression quick report \
-	report-smoke faults-demo
+	report-smoke faults-demo docs-check examples-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -60,6 +60,17 @@ report-smoke:
 bench-regression:
 	$(PYTHON) -m repro.benchmarks.perf --smoke --out BENCH_fresh.json
 	$(PYTHON) -m repro.benchmarks.regression --baseline $(BENCH_OUT) --fresh BENCH_fresh.json
+
+# Documentation gate: markdown link check over the checked documents +
+# docstring-coverage gate for repro.core (tools/check_docs.py, stdlib only).
+docs-check:
+	$(PYTHON) tools/check_docs.py
+
+# Every example script must run to completion (examples are executable docs).
+examples-smoke:
+	@set -e; for ex in examples/*.py; do \
+		echo "== $$ex"; $(PYTHON) $$ex > /dev/null; \
+	done; echo "examples-smoke: ok"
 
 # Fault-injection demo: seeded random plan -> degraded run -> detour heatmap.
 faults-demo:

@@ -114,6 +114,7 @@ class Machine:
         self._home_lists: Dict[str, List[int]] = {}
         self._home_arrays: Dict[str, np.ndarray] = {}
         self._mc_lists: Dict[str, List[int]] = {}
+        self._mc_arrays: Dict[str, np.ndarray] = {}
         self._mc_epoch: int = self.mcdram.placement_epoch
         self._quad_by_node: Optional[np.ndarray] = None
         self._quad_remap: Optional[np.ndarray] = None
@@ -229,6 +230,7 @@ class Machine:
         self._home_lists.clear()
         self._home_arrays.clear()
         self._mc_lists.clear()
+        self._mc_arrays.clear()
         self._quad_remap = None
 
     def alive_nodes(self) -> List[int]:
@@ -307,6 +309,7 @@ class Machine:
             return self._mc_node_slow(name, index, requester)
         if self._mc_epoch != self.mcdram.placement_epoch:
             self._mc_lists.clear()
+            self._mc_arrays.clear()
             self._mc_epoch = self.mcdram.placement_epoch
         mcs = self._mc_lists.get(name)
         if mcs is None:
@@ -314,6 +317,20 @@ class Machine:
         if 0 <= index < len(mcs):
             return mcs[index]
         return self._mc_node_slow(name, index, requester)
+
+    def mc_node_map(self, name: str) -> np.ndarray:
+        """Vectorized no-hint MC node of every element of ``name``.
+
+        The NumPy twin of :meth:`mc_node`'s cached list (same epoch
+        invalidation against the MCDRAM flat placement).
+        """
+        if self._mc_epoch != self.mcdram.placement_epoch:
+            self._mc_lists.clear()
+            self._mc_arrays.clear()
+            self._mc_epoch = self.mcdram.placement_epoch
+        if name not in self._mc_arrays:
+            self._build_mc_map(name)
+        return self._mc_arrays[name]
 
     def _mc_node_slow(
         self, name: str, index: int, requester: Optional[int] = None
@@ -362,6 +379,7 @@ class Machine:
         else:
             quads = self._quad_by_node_table()[homes]
             mcs = self._corner_by_quadrant_table()[quads]
+        self._mc_arrays[name] = mcs
         result = mcs.tolist()
         self._mc_lists[name] = result
         return result

@@ -19,7 +19,6 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Tuple
 
 from repro.arch.machine import Machine
-from repro.core.balancer import op_cost
 from repro.core.subcomputation import GatheredInput, Subcomputation
 from repro.ir.loop import LoopNest
 from repro.ir.program import Program
@@ -48,16 +47,15 @@ def instance_to_unit(
     uid: int,
 ) -> Subcomputation:
     """Render one statement instance as a single-node subcomputation."""
+    from repro.core.scheduler import _op_info
+
     gathered = []
     for access in instance.reads:
         home = machine.home_node(access.array, access.index)
         gathered.append(
             GatheredInput(access, home, machine.distance(home, node))
         )
-    counts = instance.statement.operator_counts()
-    breakdown = tuple(sorted(counts.items()))
-    op_total = sum(counts.values())
-    cost = sum(op_cost(op, n) for op, n in counts.items())
+    _, _, op_total, cost, breakdown = _op_info(instance.statement)
     return Subcomputation(
         uid=uid,
         seq=instance.seq,
@@ -159,12 +157,13 @@ class DefaultPlacement:
             chunk_of_nest[nest.name] = (assignment, len(assignment))
 
         instance_counter: Dict[str, int] = {}
+        nest_by_name = {n.name: n for n in program.nests}
 
         def assign(instance: StatementInstance) -> int:
             assignment, chunk_count = chunk_of_nest[instance.nest_name]
             position = instance_counter.get(instance.nest_name, 0)
             instance_counter[instance.nest_name] = position + 1
-            nest = next(n for n in program.nests if n.name == instance.nest_name)
+            nest = nest_by_name[instance.nest_name]
             iteration_index = position // nest.body_size
             chunk = min(
                 iteration_index * chunk_count // max(nest.trip_count, 1),

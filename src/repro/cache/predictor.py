@@ -43,6 +43,14 @@ class HitMissPredictor:
 
     STRONG_MISS, WEAK_MISS, WEAK_HIT, STRONG_HIT = 0, 1, 2, 3
 
+    #: Prediction depends only on the queried address, never on the query
+    #: stream: location answers can be batched, cached, and replayed.  The
+    #: counters are only written by explicit ``train`` calls (the training
+    #: pass), which happen before any consumer caches an answer.  Stateful
+    #: oracles (e.g. the ideal-analysis predictor) set this False, which
+    #: disables every vectorized/caching fast path downstream.
+    pure_predict: bool = True
+
     def __init__(self, region_bits: int = 12):
         self.region_bits = region_bits
         self._counters: Dict[int, int] = {}
@@ -55,6 +63,26 @@ class HitMissPredictor:
         """True = predicted L2 hit (data on chip), False = predicted miss."""
         counter = self._counters.get(self._region(address), self.WEAK_MISS)
         return counter >= self.WEAK_HIT
+
+    def predict_many(self, addresses) -> "np.ndarray":
+        """Vectorized :meth:`predict` over an int array of addresses.
+
+        Returns a bool array (True = predicted L2 hit).  Bit-equal to
+        calling :meth:`predict` per element: the counters are read through
+        the same default and threshold, deduplicated per region.
+        """
+        import numpy as np
+
+        regions = np.asarray(addresses, dtype=np.int64) >> self.region_bits
+        unique, inverse = np.unique(regions, return_inverse=True)
+        get = self._counters.get
+        weak_miss, weak_hit = self.WEAK_MISS, self.WEAK_HIT
+        verdicts = np.fromiter(
+            (get(int(region), weak_miss) >= weak_hit for region in unique),
+            dtype=bool,
+            count=len(unique),
+        )
+        return verdicts[inverse]
 
     def train(self, address: int, was_hit: bool) -> None:
         """Update the region counter with an observed outcome."""

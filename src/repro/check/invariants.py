@@ -169,6 +169,153 @@ def check_split_weight(split, distance) -> None:
 
 # -- memoization bit-equality -----------------------------------------------
 
+def check_nest_tables(tables, sample: int = 8) -> None:
+    """Vectorized nest tables equal the scalar locator answers.
+
+    Samples up to ``sample`` covered rows per column (spread across the
+    covered range) and recomputes block, on-chip verdict, primary node,
+    and store node through the scalar ``layout``/``predictor``/``machine``
+    call chain.  Safe to replay: tables only exist for pure predictors,
+    and every sampled page is already translated, so the duplicate
+    queries cannot perturb frame assignment.
+    """
+    machine = tables.machine
+    layout = machine.layout
+    predictor = tables.predictor
+    body = tables.body_size
+    full_rows, rem = divmod(tables.covered, body)
+    for s in range(body):
+        rows = full_rows + (1 if s < rem else 0)
+        if rows == 0:
+            continue
+        step = max(1, rows // sample)
+        picks = list(range(0, rows, step))[:sample] + [rows - 1]
+        for r, column in enumerate(tables.access.reads[s]):
+            for it in picks:
+                index = int(column.indices[it])
+                block = layout.block_of(column.array, index)
+                require(
+                    tables.read_block[s][r][it] == block,
+                    f"nest table divergence ({tables.nest.name} s={s} r={r} "
+                    f"it={it}): block {tables.read_block[s][r][it]} != "
+                    f"scalar {block}",
+                )
+                if predictor is not None:
+                    on_chip = predictor.predict(layout.pa_of(column.array, index))
+                else:
+                    on_chip = True
+                require(
+                    bool(tables.read_on_chip[s][r][it]) == on_chip,
+                    f"nest table divergence ({tables.nest.name} s={s} r={r} "
+                    f"it={it}): on_chip {tables.read_on_chip[s][r][it]} != "
+                    f"scalar {on_chip}",
+                )
+                expected = (
+                    machine.home_node(column.array, index)
+                    if on_chip
+                    else machine.mc_node(column.array, index)
+                )
+                require(
+                    tables.read_primary[s][r][it] == expected,
+                    f"nest table divergence ({tables.nest.name} s={s} r={r} "
+                    f"it={it}): primary {tables.read_primary[s][r][it]} != "
+                    f"scalar {expected}",
+                )
+        write = tables.access.writes[s]
+        for it in picks:
+            index = int(write.indices[it])
+            block = layout.block_of(write.array, index)
+            home = machine.home_node(write.array, index)
+            require(
+                tables.write_block[s][it] == block
+                and tables.store_node[s][it] == home,
+                f"nest table divergence ({tables.nest.name} s={s} write "
+                f"it={it}): (block, store) "
+                f"({tables.write_block[s][it]}, {tables.store_node[s][it]}) "
+                f"!= scalar ({block}, {home})",
+            )
+
+
+def check_access_table(table, program, nest, sample: int = 8) -> None:
+    """Closed-form access columns equal the scalar instance stream.
+
+    Samples up to ``sample`` iterations (spread across the nest, endpoints
+    included) and replays them through ``program.nest_instances`` — the
+    scalar resolver the whole pipeline trusts — comparing every read and
+    write element index against the vectorized column.
+    """
+    if table.iterations == 0:
+        return
+    step = max(1, table.iterations // sample)
+    picks = sorted(set(list(range(0, table.iterations, step))[:sample]
+                       + [table.iterations - 1]))
+    wanted = {it: {} for it in picks}
+    stream = program.nest_instances(nest)
+    for i, instance in enumerate(stream):
+        it, s = divmod(i, table.body_size)
+        if it > picks[-1]:
+            break
+        if it in wanted:
+            wanted[it][s] = instance
+    for it in picks:
+        for s, instance in wanted[it].items():
+            for r, access in enumerate(instance.reads):
+                column = table.reads[s][r]
+                require(
+                    column.array == access.array
+                    and int(column.indices[it]) == access.index,
+                    f"access table divergence ({table.nest_name} s={s} r={r} "
+                    f"it={it}): column has {column.array}"
+                    f"[{int(column.indices[it])}], scalar resolved "
+                    f"{access.array}[{access.index}]",
+                )
+            write = table.writes[s]
+            require(
+                write.array == instance.write.array
+                and int(write.indices[it]) == instance.write.index,
+                f"access table divergence ({table.nest_name} s={s} write "
+                f"it={it}): column has {write.array}"
+                f"[{int(write.indices[it])}], scalar resolved "
+                f"{instance.write.array}[{instance.write.index}]",
+            )
+
+
+#: Minimum analytic-vs-trace verdict agreement the differential oracle
+#: tolerates (DESIGN.md section 12 measures 0.82-1.00 on the paper
+#: workloads; the floor is deliberately loose — the models legitimately
+#: diverge on cross-nest reuse and trained-sample boundaries).
+MIN_PREDICTOR_AGREEMENT = 0.5
+
+#: Below this many compared addresses, agreement is noise: skip the floor.
+MIN_PREDICTOR_SAMPLE = 64
+
+
+def check_predictor_agreement(
+    analytic, trace, addresses: Sequence[int],
+    floor: float = MIN_PREDICTOR_AGREEMENT,
+) -> float:
+    """The analytic predictor agrees with the trace oracle on ``addresses``.
+
+    Both predictors are queried read-only (``predict`` never trains), so
+    the check cannot perturb either model.  Returns the agreement fraction;
+    raises when it falls below ``floor`` on a meaningful sample.
+    """
+    total = len(addresses)
+    if total == 0:
+        return 1.0
+    agree = sum(
+        1 for a in addresses if analytic.predict(a) == trace.predict(a)
+    )
+    fraction = agree / total
+    require(
+        total < MIN_PREDICTOR_SAMPLE or fraction >= floor,
+        f"analytic predictor diverged from the trace oracle: agreement "
+        f"{fraction:.3f} over {total} addresses is below the documented "
+        f"floor {floor} (DESIGN.md section 12)",
+    )
+    return fraction
+
+
 def check_split_cache_hit(cached, recomputed) -> None:
     """A split served from the cache is bit-equal to a fresh recompute."""
     require(

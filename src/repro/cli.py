@@ -19,6 +19,13 @@ stream structured JSONL trace events (compile spans, gate verdicts,
 window-search candidates, simulator epochs) to ``FILE``; see
 :mod:`repro.obs.tracer`.  Tracing never changes any printed number.
 
+``compare`` and ``report`` accept ``--predictor {trace,analytic}`` to
+choose the L2 miss predictor the compile pipeline uses: ``trace`` (the
+default) trains the two-bit region predictor on a simulated trace;
+``analytic`` swaps in the closed-form locality model of
+:mod:`repro.core.locality` (DESIGN.md section 12).  The default path is
+bit-identical with the flag absent.
+
 ``compare`` and ``report`` accept ``--faults PLAN.json`` to run on a
 degraded machine (dead links / offline tiles / slow MCDRAM channels);
 see :mod:`repro.faults`.  Library errors (unknown workload, invalid
@@ -116,10 +123,13 @@ def _run_compare(args) -> int:
 
     plan = _fault_plan_of(args)
     comparison = compare_app(
-        args.app, scale=args.scale, seed=args.seed, faults=plan
+        args.app, scale=args.scale, seed=args.seed, faults=plan,
+        predictor=args.predictor,
     )
     d, o = comparison.default_metrics, comparison.optimized_metrics
     print(f"app: {args.app}")
+    if args.predictor != "trace":
+        print(f"predictor: {args.predictor}")
     if plan is not None:
         print(
             f"faults   : {plan.fingerprint()}  "
@@ -185,6 +195,8 @@ def _cmd_report(args) -> int:
             file=sys.stderr,
         )
         return 2
+    from repro.pipeline.passes import predictor_pass_order
+
     report = build_report(
         args.app,
         scale=args.scale,
@@ -193,6 +205,7 @@ def _cmd_report(args) -> int:
         debug_trace=args.trace_debug,
         faults=_fault_plan_of(args),
         skip_passes=tuple(args.skip_pass),
+        pass_order=predictor_pass_order(args.predictor),
     )
     write_report(report, args.out)
     print("\n".join(summary_lines(report)))
@@ -316,6 +329,15 @@ def main(argv: List[str] = None) -> int:
             "equivalent to REPRO_CHECK=1",
         )
 
+    def add_predictor_flag(p) -> None:
+        p.add_argument(
+            "--predictor",
+            choices=["trace", "analytic"],
+            default="trace",
+            help="L2 miss predictor: 'trace' (default, trace-trained) or "
+            "'analytic' (closed-form locality model, DESIGN.md sec. 12)",
+        )
+
     compare = sub.add_parser("compare", help="default vs optimized for one app")
     compare.add_argument("app", choices=ALL_WORKLOAD_NAMES)
     compare.add_argument("--scale", type=int, default=1)
@@ -323,6 +345,7 @@ def main(argv: List[str] = None) -> int:
     add_trace_flags(compare)
     add_faults_flag(compare)
     add_check_flag(compare)
+    add_predictor_flag(compare)
     compare.set_defaults(func=_cmd_compare)
 
     report = sub.add_parser(
@@ -356,6 +379,7 @@ def main(argv: List[str] = None) -> int:
     add_trace_flags(report)
     add_faults_flag(report)
     add_check_flag(report)
+    add_predictor_flag(report)
     report.set_defaults(func=_cmd_report)
 
     faults = sub.add_parser(

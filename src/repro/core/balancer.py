@@ -35,11 +35,21 @@ class LoadBalancer:
     """
 
     def __init__(self, node_count: int, threshold: float = 0.10, enabled: bool = True):
+        """Track per-node load; ``threshold`` is the paper's 10% rule."""
         self.node_count = node_count
         self.threshold = threshold
         self.enabled = enabled
         self.load = [0.0] * node_count
         self.skips = 0
+        # Running top-2 load values (and which node holds the maximum).
+        # ``would_unbalance`` only ever needs "the highest load among the
+        # *other* nodes": the maximum when the queried node is not the
+        # leader, the runner-up value when it is.  Loads only grow (record
+        # adds positive costs), so the pair can be maintained in O(1) per
+        # record instead of scanning every node per query.
+        self._top_node = -1
+        self._top_load = 0.0
+        self._second_load = 0.0
 
     def would_unbalance(self, node: int, cost: float) -> bool:
         """True when assigning ``cost`` to ``node`` breaks the 10% rule.
@@ -51,16 +61,14 @@ class LoadBalancer:
         """
         if not self.enabled:
             return False
-        new_load = self.load[node] + cost
-        others_max = max(
-            (self.load[n] for n in range(self.node_count) if n != node),
-            default=0.0,
+        others_max = (
+            self._second_load if node == self._top_node else self._top_load
         )
         if others_max <= 0.0:
             # Nothing scheduled elsewhere yet; compare against the average
             # would-be load to avoid every first assignment being vetoed.
             return False
-        return new_load > (1.0 + self.threshold) * others_max
+        return self.load[node] + cost > (1.0 + self.threshold) * others_max
 
     def choose(self, candidates: Sequence[int], cost: float) -> int:
         """First candidate that passes the balance check, else least loaded.
@@ -94,7 +102,16 @@ class LoadBalancer:
 
     def record(self, node: int, cost: float) -> None:
         """Commit ``cost`` to ``node``'s running load."""
-        self.load[node] += cost
+        new_load = self.load[node] + cost
+        self.load[node] = new_load
+        if node == self._top_node:
+            self._top_load = new_load
+        elif new_load > self._top_load:
+            self._second_load = self._top_load
+            self._top_node = node
+            self._top_load = new_load
+        elif new_load > self._second_load:
+            self._second_load = new_load
 
     def imbalance(self) -> float:
         """max/mean load ratio (1.0 = perfectly balanced; 0 when idle)."""
@@ -108,3 +125,6 @@ class LoadBalancer:
         """Clear all load state and the skip counter."""
         self.load = [0.0] * self.node_count
         self.skips = 0
+        self._top_node = -1
+        self._top_load = 0.0
+        self._second_load = 0.0

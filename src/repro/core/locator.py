@@ -18,21 +18,21 @@ Three sources, in the order the compiler trusts them:
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, NamedTuple, Optional, Tuple
 
 from repro.arch.machine import Machine
 from repro.cache.predictor import HitMissPredictor
 from repro.ir.statement import Access
 
 
-@dataclass(frozen=True, slots=True)
-class Location:
+class Location(NamedTuple):
     """Where a datum can be found right now.
 
     ``primary`` is the authoritative location (home bank or MC);
     ``l1_copies`` are nodes believed to hold the datum in L1.  ``on_chip``
     is the predictor's verdict (False means primary is a controller node).
+    A NamedTuple: one is built per ``locate`` call, which is the hottest
+    allocation site in the scalar partitioning path.
     """
 
     access: Access
@@ -59,6 +59,7 @@ class VariableToNodeMap:
     """
 
     def __init__(self, per_node_capacity: int = 64):
+        """Empty map modeling ``per_node_capacity`` L1 blocks per node."""
         self.per_node_capacity = per_node_capacity
         self._blocks_at_node: Dict[int, "OrderedDict[int, None]"] = {}
         self._nodes_of_block: Dict[int, List[int]] = {}
@@ -66,7 +67,9 @@ class VariableToNodeMap:
 
     def record(self, block: int, node: int) -> None:
         """Model ``block`` being fetched into ``node``'s L1."""
-        resident = self._blocks_at_node.setdefault(node, OrderedDict())
+        resident = self._blocks_at_node.get(node)
+        if resident is None:
+            resident = self._blocks_at_node[node] = OrderedDict()
         if block in resident:
             resident.move_to_end(block)
             return
@@ -78,11 +81,24 @@ class VariableToNodeMap:
                 holders.remove(node)
         resident[block] = None
         self._resident_count += 1
-        self._nodes_of_block.setdefault(block, []).append(node)
+        holders = self._nodes_of_block.get(block)
+        if holders is None:
+            self._nodes_of_block[block] = [node]
+        else:
+            holders.append(node)
 
     def nodes_with(self, block: int) -> Tuple[int, ...]:
         """Nodes modeled as holding ``block`` in L1 (insertion order)."""
         return tuple(self._nodes_of_block.get(block, ()))
+
+    def holds_block(self, block: int) -> bool:
+        """True when any node is modeled as holding ``block``.
+
+        Equivalent to ``bool(nodes_with(block))`` without building the
+        tuple.  Note an eviction can leave an *empty* holder list behind,
+        so a plain key-membership test would overreport.
+        """
+        return bool(self._nodes_of_block.get(block))
 
     def clear(self) -> None:
         """Forget every recorded L1 copy (used at window boundaries)."""

@@ -222,6 +222,7 @@ class NdpPartitioner:
         config: PartitionConfig = PartitionConfig(),
         session=None,
     ):
+        """Facade over ``session`` (or a fresh machine/config pair)."""
         if session is not None:
             machine = session.machine
             config = session.config

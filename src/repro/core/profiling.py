@@ -63,11 +63,15 @@ def profile_statements(
     locator: DataLocator,
     fallback_nodes: Optional[Dict[int, int]] = None,
     sample_per_nest: int = 4096,
+    session=None,
 ) -> Dict[StatementKey, StatementProfile]:
     """Measure star vs MST movement for every static statement.
 
     The cache simulation mirrors the execution engine's access flow but
     only tracks movement, so it is cheap enough to run over a large sample.
+    When a ``session`` is given, the MST side uses the vectorized split
+    templates (:mod:`repro.core.vectorized`); the movement side stays on
+    the reference simulation either way.
     """
     program.declare_on(machine)
     fallback_nodes = fallback_nodes or {}
@@ -80,6 +84,22 @@ def profile_statements(
     counts: Dict[StatementKey, int] = {}
 
     for nest in program.nests:
+        templates = None
+        if session is not None:
+            from repro.core.vectorized import templates_for
+
+            templates = templates_for(
+                session, program, nest, locator, flatten_products=False
+            )
+            if templates is not None:
+                # Replay the sample's page translations up front (canonical
+                # order — identical frames to the lazy scalar touches).
+                templates.tables.ensure(min(sample_per_nest, nest.instance_count))
+        splitter = (
+            templates.split
+            if templates is not None
+            else (lambda instance: split_statement(instance, locator))
+        )
         sampled = 0
         for instance in program.nest_instances(nest, program.seq_base_of(nest)):
             if sampled >= sample_per_nest:
@@ -106,7 +126,7 @@ def profile_statements(
             key = instance.static_key
             star_sum[key] = star_sum.get(key, 0.0) + movement
             counts[key] = counts.get(key, 0) + 1
-            split = split_statement(instance, locator)
+            split = splitter(instance)
             mst_sum[key] = mst_sum.get(key, 0.0) + split.mst_weight
 
     serial = _serial_chain_statements(program)

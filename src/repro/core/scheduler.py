@@ -25,6 +25,7 @@ minimized by :mod:`repro.core.syncgraph`.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.core.balancer import LoadBalancer, op_cost
@@ -33,7 +34,32 @@ from repro.core.splitter import LeafInfo, StatementSplit
 from repro.core.subcomputation import GatheredInput, SubResult, Subcomputation
 from repro.errors import SchedulingError
 from repro.ir.statement import StatementInstance
-from repro.utils.union_find import UnionFind
+from repro.utils.union_find import DenseUnionFind
+
+#: Memoized static per-statement operator info, keyed by statement
+#: identity: (statement, counts, total op count, weighted cost, sorted
+#: breakdown).  The statement object is held in the value so a live cache
+#: entry can never alias a recycled ``id``.
+_OP_INFO_CACHE: Dict[int, tuple] = {}
+_OP_INFO_LIMIT = 1 << 13
+
+
+def _op_info(statement):
+    """(statement, counts, op_count, cost, breakdown) — static per statement."""
+    cached = _OP_INFO_CACHE.get(id(statement))
+    if cached is not None and cached[0] is statement:
+        return cached
+    counts = statement.operator_counts()
+    info = (
+        statement,
+        counts,
+        sum(counts.values()),
+        sum(op_cost(op, n) for op, n in counts.items()),
+        tuple(sorted(counts.items())),
+    )
+    if len(_OP_INFO_CACHE) < _OP_INFO_LIMIT or cached is not None:
+        _OP_INFO_CACHE[id(statement)] = info
+    return info
 
 
 class _Builder:
@@ -86,7 +112,7 @@ class StatementSchedule:
     store_node: int
     mst_weight: int
 
-    @property
+    @cached_property
     def movement(self) -> int:
         """Achieved data movement: links traversed by all inputs."""
         return sum(s.movement for s in self.subcomputations)
@@ -157,6 +183,7 @@ def star_cost(
     locator: DataLocator,
     var2node: Optional[VariableToNodeMap] = None,
     exec_node: Optional[int] = None,
+    tables=None,
 ) -> int:
     """Predicted movement of the unsplit schedule (default execution).
 
@@ -166,8 +193,26 @@ def star_cost(
     scheduler splits a statement only when the MST beats this — splitting
     that *increases* movement would defeat the metric the paper optimizes.
     """
-    node = exec_node if exec_node is not None else locator.store_node(instance.write)
     distance = locator.machine.mesh.distance_fn()
+    if tables is not None:
+        # Table-backed path: same answers as locate(), batched up front.
+        it, s = divmod(instance.seq - tables.seq_base, tables.body_size)
+        store = tables.store_node[s][it]
+        node = exec_node if exec_node is not None else store
+        read_blocks = tables.read_block[s]
+        read_primary = tables.read_primary[s]
+        cost = 0
+        seen_blocks = set()
+        for position in range(len(instance.reads)):
+            block = read_blocks[position][it]
+            if block in seen_blocks:
+                continue
+            seen_blocks.add(block)
+            if var2node is not None and node in var2node.nodes_with(block):
+                continue
+            cost += distance(read_primary[position][it], node)
+        return cost + distance(node, store)
+    node = exec_node if exec_node is not None else locator.store_node(instance.write)
     cost = 0
     seen_blocks = set()
     for access in instance.reads:
@@ -192,6 +237,7 @@ def schedule_star(
     var2node: Optional[VariableToNodeMap] = None,
     exec_node: Optional[int] = None,
     hit_model: Optional[VariableToNodeMap] = None,
+    tables=None,
 ) -> StatementSchedule:
     """Schedule the whole statement unsplit, as the default execution would.
 
@@ -201,44 +247,82 @@ def schedule_star(
     gathers are expected L1 hits; fetched blocks are still recorded into the
     window's ``var2node`` so later statements can reuse them.
     """
-    node = exec_node if exec_node is not None else locator.store_node(instance.write)
     distance = locator.machine.mesh.distance_fn()
     gathered = []
-    for access in instance.reads:
-        location = locator.locate(access, hit_model or var2node)
-        if node in location.l1_copies:
-            gathered.append(GatheredInput(access, node, 0, l1_hit=True))
-        else:
-            hops = distance(location.primary, node)
-            gathered.append(
-                GatheredInput(
-                    access, location.primary, hops, off_chip=not location.on_chip
+    if tables is not None:
+        # Table-backed path: blocks/primaries/verdicts from the per-nest
+        # tables instead of per-access locate() chains (same answers).
+        it, s = divmod(instance.seq - tables.seq_base, tables.body_size)
+        node = (
+            exec_node if exec_node is not None else tables.store_node[s][it]
+        )
+        read_blocks = tables.read_block[s]
+        read_primary = tables.read_primary[s]
+        read_on_chip = tables.read_on_chip[s]
+        copies_map = hit_model if hit_model is not None else var2node
+        for position, access in enumerate(instance.reads):
+            block = read_blocks[position][it]
+            if copies_map is not None and node in copies_map.nodes_with(block):
+                gathered.append(GatheredInput(access, node, 0, l1_hit=True))
+            else:
+                primary = read_primary[position][it]
+                gathered.append(
+                    GatheredInput(
+                        access,
+                        primary,
+                        distance(primary, node),
+                        off_chip=not read_on_chip[position][it],
+                    )
                 )
-            )
-        if var2node is not None:
-            var2node.record(locator.block_of(access), node)
-        if hit_model is not None:
-            hit_model.record(locator.block_of(access), node)
-    counts = instance.statement.operator_counts()
-    cost = sum(op_cost(op, n) for op, n in counts.items())
+            if var2node is not None:
+                var2node.record(block, node)
+            if hit_model is not None:
+                hit_model.record(block, node)
+        write_block = tables.write_block[s][it]
+    else:
+        node = (
+            exec_node
+            if exec_node is not None
+            else locator.store_node(instance.write)
+        )
+        for access in instance.reads:
+            location = locator.locate(access, hit_model or var2node)
+            if node in location.l1_copies:
+                gathered.append(GatheredInput(access, node, 0, l1_hit=True))
+            else:
+                hops = distance(location.primary, node)
+                gathered.append(
+                    GatheredInput(
+                        access, location.primary, hops, off_chip=not location.on_chip
+                    )
+                )
+            if var2node is not None:
+                var2node.record(locator.block_of(access), node)
+            if hit_model is not None:
+                hit_model.record(locator.block_of(access), node)
+        write_block = None
+    _, _, op_count, cost, breakdown = _op_info(instance.statement)
     sub = Subcomputation(
         uid=next(uid_counter),
         seq=instance.seq,
         node=node,
         op="+",
-        op_count=sum(counts.values()),
+        op_count=op_count,
         cost=cost,
         gathered=tuple(gathered),
         sub_results=(),
         store=instance.write,
-        op_breakdown=tuple(sorted(counts.items())),
+        op_breakdown=breakdown,
         source=str(instance),
     )
     balancer.record(node, cost)
-    if var2node is not None:
-        var2node.record(locator.block_of(instance.write), node)
-    if hit_model is not None:
-        hit_model.record(locator.block_of(instance.write), node)
+    if var2node is not None or hit_model is not None:
+        if write_block is None:
+            write_block = locator.block_of(instance.write)
+        if var2node is not None:
+            var2node.record(write_block, node)
+        if hit_model is not None:
+            hit_model.record(write_block, node)
     return StatementSchedule(
         instance=instance,
         subcomputations=(sub,),
@@ -255,6 +339,7 @@ def schedule_statement(
     uid_counter: Iterator[int],
     var2node: Optional[VariableToNodeMap] = None,
     hit_model: Optional[VariableToNodeMap] = None,
+    tables=None,
 ) -> StatementSchedule:
     """Turn a :class:`StatementSplit` into scheduled subcomputations.
 
@@ -268,7 +353,25 @@ def schedule_statement(
     instance = split.instance
     store_node = split.store_node
 
-    components = UnionFind()
+    if tables is not None:
+        it, s = divmod(instance.seq - tables.seq_base, tables.body_size)
+        read_blocks = tables.read_block[s]
+
+        def block_of_leaf(leaf: LeafInfo) -> int:
+            return read_blocks[leaf.position][it]
+
+        write_block = tables.write_block[s][it]
+    else:
+
+        def block_of_leaf(leaf: LeafInfo) -> int:
+            return locator.block_of(leaf.access)
+
+        write_block = None
+
+    # Member/set ids are allocated from one counter starting at the store
+    # member, and the root member is handed out last — so every id this
+    # split references fits in [0, root_member].
+    components = DenseUnionFind(max(split.store_member, split.root_member) + 1)
     carriers: Dict[int, object] = {}  # root id -> LeafInfo | _Builder | "store"
     builders: List[_Builder] = []
 
@@ -282,9 +385,7 @@ def schedule_statement(
 
     # Initialize leaf and store carriers.
     for member, leaf in split.leaves.items():
-        components.add(member)
         carriers[member] = leaf
-    components.add(split.store_member)
     carriers[split.store_member] = "store"
     # Every set id aliases its first member: once the set's own merges have
     # connected its members (merges are ordered innermost-first), a parent
@@ -308,7 +409,7 @@ def schedule_statement(
     def gather(leaf: LeafInfo, at_node: int) -> GatheredInput:
         """Record pulling ``leaf``'s value to ``at_node``, charging hops."""
         location = leaf.location
-        block = locator.block_of(leaf.access)
+        block = block_of_leaf(leaf)
         resident = at_node in location.l1_copies or (
             hit_model is not None and at_node in hit_model.nodes_with(block)
         )
@@ -346,10 +447,12 @@ def schedule_statement(
                 forward.gathered.append(
                     GatheredInput(carrier.access, carrier.vertex, 0, l1_hit=True)
                 )
-                if var2node is not None:
-                    var2node.record(locator.block_of(carrier.access), carrier.vertex)
-                if hit_model is not None:
-                    hit_model.record(locator.block_of(carrier.access), carrier.vertex)
+                if var2node is not None or hit_model is not None:
+                    block = block_of_leaf(carrier)
+                    if var2node is not None:
+                        var2node.record(block, carrier.vertex)
+                    if hit_model is not None:
+                        hit_model.record(block, carrier.vertex)
                 forward.open = False
                 into.sub_results.append(
                     SubResult(
@@ -487,10 +590,13 @@ def schedule_statement(
 
     # The result now lives in the store node's L1; later statements in the
     # window can reuse it from there (flow-dependence reuse).
-    if var2node is not None:
-        var2node.record(locator.block_of(instance.write), store_node)
-    if hit_model is not None:
-        hit_model.record(locator.block_of(instance.write), store_node)
+    if var2node is not None or hit_model is not None:
+        if write_block is None:
+            write_block = locator.block_of(instance.write)
+        if var2node is not None:
+            var2node.record(write_block, store_node)
+        if hit_model is not None:
+            hit_model.record(write_block, store_node)
 
     subs = []
     for builder in builders:

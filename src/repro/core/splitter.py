@@ -21,7 +21,7 @@ subcomputations.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -34,9 +34,12 @@ from repro.obs.tracer import get_tracer
 from repro.utils.union_find import UnionFind
 
 
-@dataclass(frozen=True, slots=True)
-class LeafInfo:
-    """A resolved leaf operand: which member it is and where its data lives."""
+class LeafInfo(NamedTuple):
+    """A resolved leaf operand: which member it is and where its data lives.
+
+    A NamedTuple, not a frozen dataclass: leaves are rebuilt per instance
+    on the vectorized split fast paths, so construction cost matters.
+    """
 
     member_id: int
     position: int          # index into instance.reads

@@ -10,14 +10,18 @@ feeds its parent or performs the final store.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import NamedTuple, Optional, Tuple
 
 from repro.ir.statement import Access
 
 
-@dataclass(frozen=True, slots=True)
-class GatheredInput:
+# The three record types below are NamedTuples, not frozen dataclasses:
+# they are constructed hundreds of thousands of times per compile (every
+# gather, every child result, every scheduled unit), and tuple construction
+# avoids the per-field ``object.__setattr__`` cost a frozen dataclass pays.
+
+
+class GatheredInput(NamedTuple):
     """A raw datum fetched into the subcomputation's node.
 
     ``from_node``/``hops`` are the compiler's prediction of where the datum
@@ -32,8 +36,7 @@ class GatheredInput:
     off_chip: bool = False  # predictor said the datum misses L2
 
 
-@dataclass(frozen=True, slots=True)
-class SubResult:
+class SubResult(NamedTuple):
     """A child subcomputation's result arriving over the network."""
 
     producer_uid: int
@@ -41,8 +44,7 @@ class SubResult:
     hops: int
 
 
-@dataclass(frozen=True, slots=True)
-class Subcomputation:
+class Subcomputation(NamedTuple):
     """One scheduled subcomputation.
 
     ``op`` is the associative operator class applied at this node (``'+'``
@@ -62,7 +64,7 @@ class Subcomputation:
     sub_results: Tuple[SubResult, ...] = ()
     store: Optional[Access] = None
     op_breakdown: Tuple[Tuple[str, int], ...] = ()
-    #: Pretty-print override: unsplit statements render their original text.
+    # Pretty-print override: unsplit statements render their original text.
     source: str = ""
 
     @property

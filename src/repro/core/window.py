@@ -19,6 +19,7 @@ from __future__ import annotations
 import itertools
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 
@@ -94,7 +95,7 @@ class WindowSchedule:
     syncs_before_minimization: int
     syncs_after_minimization: int
 
-    @property
+    @cached_property
     def movement(self) -> int:
         """Total data movement of the window (sum of member MSTs)."""
         return sum(s.movement for s in self.schedules)
@@ -186,7 +187,9 @@ class WindowScheduler:
         split_plan: Optional[Dict[Tuple[str, int], bool]] = None,
         split_cache: Optional[Dict[int, StatementSplit]] = None,
         session=None,
+        templates=None,
     ):
+        """A scheduler sharing the caller's uid stream, caches, and session."""
         self.machine = machine
         self.locator = locator
         self.config = config
@@ -210,6 +213,11 @@ class WindowScheduler:
         # every pass must issue exactly the queries the uncached code would.
         pure_predictor = getattr(locator.predictor, "pure_predict", True)
         self._split_cache = split_cache if pure_predictor else None
+        # Vectorized fast path: per-nest location tables + signature-deduped
+        # split templates (repro.core.vectorized).  Only valid with a pure
+        # predictor; the scalar code remains the reference path.
+        self._templates = templates if pure_predictor else None
+        self._tables = self._templates.tables if self._templates is not None else None
         # Shared across nests (and window-size trials) so uids stay unique
         # within one compilation.
         self._uid_counter = uid_counter if uid_counter is not None else itertools.count()
@@ -234,17 +242,36 @@ class WindowScheduler:
         )
 
     def schedule_window(
-        self, instances: Sequence[StatementInstance]
+        self,
+        instances: Sequence[StatementInstance],
+        sync_graph: bool = True,
     ) -> WindowSchedule:
-        """Schedule one window of consecutive statement instances."""
+        """Schedule one window of consecutive statement instances.
+
+        ``sync_graph=False`` skips building and minimizing the window's
+        synchronization graph (the schedules and their movement are
+        unaffected) — used by the window-size search, whose trials consume
+        only the movement totals and discard the schedules.
+        """
         var2node = (
             VariableToNodeMap(self.config.l1_model_blocks)
             if self.config.reuse_aware
             else None
         )
         schedules: List[StatementSchedule] = []
+        # With the nest's tables fully materialized, a split is a pure
+        # function of the instance (no page-translation or predictor side
+        # effects), so statements whose plan already says "don't split" can
+        # skip the MST work entirely.  The scalar path must still split
+        # first: its leaf locates are the canonical first touch of the
+        # instance's pages.
+        lazy_split = (
+            self._tables is not None
+            and self._rng is None
+            and self._tables.covered >= self._tables.instance_count
+        )
         for instance in instances:
-            split = self._split_of(instance, var2node)
+            split = None if lazy_split else self._split_of(instance, var2node)
             # Split only when the MST actually beats the unsplit default
             # execution (data movement is the first-class metric; a split
             # that moves *more* data is never taken).
@@ -254,9 +281,19 @@ class WindowScheduler:
             elif self.split_plan is not None and instance.static_key in self.split_plan:
                 decision = self.split_plan[instance.static_key]
             else:
-                unsplit = star_cost(instance, self.locator, self._l1_model, fallback)
+                if split is None:
+                    split = self._split_of(instance, var2node)
+                unsplit = star_cost(
+                    instance,
+                    self.locator,
+                    self._l1_model,
+                    fallback,
+                    tables=self._tables,
+                )
                 decision = split.mst_weight + self.config.split_bias <= unsplit
             if decision:
+                if split is None:
+                    split = self._split_of(instance, var2node)
                 schedules.append(
                     schedule_statement(
                         split,
@@ -265,6 +302,7 @@ class WindowScheduler:
                         self._uid_counter,
                         var2node,
                         hit_model=self._l1_model,
+                        tables=self._tables,
                     )
                 )
             else:
@@ -277,8 +315,21 @@ class WindowScheduler:
                         var2node,
                         fallback,
                         hit_model=self._l1_model,
+                        tables=self._tables,
                     )
                 )
+        if not sync_graph:
+            return WindowSchedule(schedules, SyncGraph(), 0, 0)
+        if len(schedules) == 1 and len(schedules[0].subcomputations) == 1:
+            # A singleton window whose one statement stayed whole has no
+            # sync arcs by construction (no child results, no second
+            # instance to depend on) — skip building and minimizing the
+            # graph, but keep the inline pass's timing key alive.
+            if self._session is not None and self._session.pass_enabled(
+                "sync_minimize"
+            ):
+                self._session.add_pass_seconds("sync_minimize", 0.0)
+            return WindowSchedule(schedules, SyncGraph(), 0, 0)
         graph = self._build_sync_graph(instances, schedules)
         before = graph.arc_count()
         after = graph.minimize_in(self._session)
@@ -336,6 +387,69 @@ class WindowScheduler:
                         ),
                     )
                 return cached
+            if self._templates is not None:
+                split = self._templates.split(instance)
+                if len(self._split_cache) < self._SPLIT_CACHE_LIMIT:
+                    self._split_cache[instance.seq] = split
+                return split
+        elif (
+            self._templates is not None
+            and self._rng is None
+            and var2node is not None
+            and len(var2node) > 0
+            and not self._templates.blocks_held(instance, var2node)
+        ):
+            # Mid-window fast path: none of this statement's operand blocks
+            # is modeled L1-resident, so every locate() would come back with
+            # empty ``l1_copies`` and the split equals the empty-map split.
+            split = None
+            if self._split_cache is not None:
+                split = self._split_cache.get(instance.seq)
+            if split is None:
+                split = self._templates.split(instance)
+                if (
+                    self._split_cache is not None
+                    and len(self._split_cache) < self._SPLIT_CACHE_LIMIT
+                ):
+                    self._split_cache[instance.seq] = split
+            if check.enabled():
+                # The no-overlap claim must hold: the split computed against
+                # the actual window map is bit-equal to the empty-map split.
+                invariants.check_split_cache_hit(
+                    split,
+                    split_statement(
+                        instance,
+                        self.locator,
+                        var2node,
+                        rng=self._rng,
+                        flatten_products=self.config.flatten_products,
+                    ),
+                )
+            return split
+        elif (
+            self._templates is not None
+            and self._rng is None
+            and var2node is not None
+            and len(var2node) > 0
+        ):
+            # Mid-window overlap path: some operand block is L1-resident, so
+            # the split depends on the window map — but the skeleton replay
+            # can still answer it from the tables plus the map, skipping the
+            # operand-tree rebuild and the per-leaf locate dispatch.
+            split = self._templates.split_with_map(instance, var2node)
+            if split is not None:
+                if check.enabled():
+                    invariants.check_split_cache_hit(
+                        split,
+                        split_statement(
+                            instance,
+                            self.locator,
+                            var2node,
+                            rng=self._rng,
+                            flatten_products=self.config.flatten_products,
+                        ),
+                    )
+                return split
         split = split_statement(
             instance,
             self.locator,
@@ -427,11 +541,18 @@ class WindowSizeSearch:
         split_plan: Optional[Dict[Tuple[str, int], bool]] = None,
         split_cache: Optional[Dict[int, StatementSplit]] = None,
         session=None,
+        templates=None,
     ):
+        """A search owning (or sharing) the uid stream its trials consume."""
         self.machine = machine
         self.locator = locator
         self.config = config
         self.uid_counter = uid_counter if uid_counter is not None else itertools.count()
+        # Per-nest vectorized split templates shared by every serial trial
+        # and the final schedule (parallel workers run the scalar path and
+        # return bit-equal results — the machine they unpickle already holds
+        # the nest's page translations).
+        self._templates = templates
         self.fallback_nodes = fallback_nodes
         self.split_plan = split_plan
         # Forwarded to every trial scheduler (inline-pass gating + timing).
@@ -561,6 +682,7 @@ class WindowSizeSearch:
             split_plan=self.split_plan,
             split_cache=self._split_cache,
             session=self._session,
+            templates=self._templates,
         )
 
     def _sample_instances(
@@ -582,7 +704,7 @@ class WindowSizeSearch:
         movement = 0
         for start in range(0, len(instances), size):
             window = instances[start : start + size]
-            movement += scheduler.schedule_window(window).movement
+            movement += scheduler.schedule_window(window, sync_graph=False).movement
         return movement
 
 

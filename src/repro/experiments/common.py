@@ -281,19 +281,25 @@ def run_optimized(
     partition_config: Optional[PartitionConfig] = None,
     sim_config: SimConfig = SimConfig(),
     faults: Optional[FaultPlan] = None,
+    predictor: str = "trace",
 ) -> Tuple[PartitionResult, SimMetrics, Machine]:
     """NDP-partitioned ``app``, simulated; returns partition + metrics.
 
     Builds one :class:`~repro.pipeline.session.CompilationSession` per run
     (which owns fault application) and compiles through the pass pipeline
-    via the :class:`NdpPartitioner` facade.
+    via the :class:`NdpPartitioner` facade.  ``predictor`` selects the
+    miss-prediction pass: ``"trace"`` (the default trace-trained
+    predictor) or ``"analytic"`` (the closed-form locality model,
+    DESIGN.md §12).
     """
     from repro.pipeline import session_for
+    from repro.pipeline.passes import predictor_pass_order
 
     session = session_for(
         paper_machine(cluster_mode, memory_mode),
         config=partition_config or PartitionConfig(),
         faults=faults,
+        pass_order=predictor_pass_order(predictor),
     )
     machine = session.machine
     program = build_workload(app, scale, seed)
@@ -311,17 +317,19 @@ def compare_app(
     cluster_mode: ClusterMode = ClusterMode.QUADRANT,
     memory_mode: MemoryMode = MemoryMode.FLAT,
     faults: Optional[FaultPlan] = None,
+    predictor: str = "trace",
 ) -> AppComparison:
     """Default-vs-optimized comparison for one app (memoized).
 
     A non-empty ``faults`` plan degrades both machines before placement;
-    the memoization key includes the plan's fingerprint, so healthy and
-    degraded comparisons of the same app never collide.
+    the memoization key includes the plan's fingerprint (and the chosen
+    predictor), so healthy/degraded and trace/analytic comparisons of the
+    same app never collide.
     """
     if faults is not None and faults.is_empty:
         faults = None
     fault_key = None if faults is None else faults.fingerprint()
-    key = (app, scale, seed, cluster_mode, memory_mode, fault_key)
+    key = (app, scale, seed, cluster_mode, memory_mode, fault_key, predictor)
     cached = _CACHE.get(key)
     if cached is not None:
         return cached
@@ -329,7 +337,8 @@ def compare_app(
         app, scale, seed, cluster_mode, memory_mode, faults=faults
     )
     partition, optimized_metrics, _ = run_optimized(
-        app, scale, seed, cluster_mode, memory_mode, faults=faults
+        app, scale, seed, cluster_mode, memory_mode, faults=faults,
+        predictor=predictor,
     )
     comparison = AppComparison(
         app=app,
@@ -347,7 +356,10 @@ def _prewarm_compare(args) -> Tuple[Tuple, AppComparison]:
     """Worker: one (app, cluster, memory) comparison, cache-key + value."""
     app, scale, seed, cluster_mode, memory_mode = args
     comparison = compare_app(app, scale, seed, cluster_mode, memory_mode)
-    return (app, scale, seed, cluster_mode, memory_mode, None), comparison
+    return (
+        (app, scale, seed, cluster_mode, memory_mode, None, "trace"),
+        comparison,
+    )
 
 
 def _prewarm_ideal(args) -> Tuple[Tuple, SimMetrics]:

@@ -36,6 +36,7 @@ from repro.experiments import (  # noqa: F401
     fig22_modes,
     fig23_data_mapping,
     fig24_energy,
+    predictor_sweep,
     table1_analyzable,
     table2_predictor,
     table3_opmix,

@@ -1,0 +1,188 @@
+"""Vectorized affine access extraction (the closed-form view of a nest).
+
+The scalar pipeline resolves every subscript one statement instance at a
+time (:meth:`repro.ir.program.Program.resolve_ref`).  This module computes
+the same resolution *in closed form* over the whole iteration space:
+
+* an :class:`AccessColumn` per static reference — the flat element index of
+  that reference at every iteration of the nest, as one ``int64`` array;
+* a :class:`NestAccessTable` bundling the columns of every body statement
+  (reads in RHS order, then the write), which is the substrate for both the
+  vectorized partitioner tables (:mod:`repro.core.vectorized`) and the
+  analytic locality model (:mod:`repro.core.locality`).
+
+Semantics match the scalar resolver bit for bit:
+
+* affine subscripts evaluate ``sum(coeff * var) + const`` on the iteration
+  grid;
+* multi-dimensional references linearize row-major with per-dimension
+  clamping (:meth:`repro.ir.program.ArrayDecl.linearize`'s halo model);
+* indirect subscripts gather through the program's runtime index data with
+  the same ``data[inner % len(data)]`` rule;
+* scalar references (no indices) resolve to element 0.
+
+The equivalence is enforced in check mode (`check_access_table`) and by the
+property tests in ``tests/check``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.ir.expr import AffineIndex, IndirectIndex, Ref
+from repro.ir.loop import LoopNest
+from repro.ir.program import Program
+
+
+@dataclass(frozen=True)
+class AccessColumn:
+    """One static reference's resolved element index per iteration.
+
+    ``array`` names the referenced array; ``indices[k]`` is the flat element
+    index at the nest's ``k``-th iteration (lexicographic order, matching
+    :meth:`LoopNest.iterations`).  ``affine`` is False when any subscript is
+    indirect (resolved through runtime index data rather than closed form).
+    """
+
+    array: str
+    indices: np.ndarray
+    affine: bool
+
+
+@dataclass(frozen=True)
+class NestAccessTable:
+    """All resolved access columns of one nest.
+
+    ``reads[s][r]`` is statement ``s``'s ``r``-th RHS reference column (the
+    order of ``Statement.input_refs``, which is also the order of
+    ``StatementInstance.reads``); ``writes[s]`` is its LHS column.
+    ``iterations`` is the trip count; instance ``i`` of the nest stream is
+    iteration ``i // body_size``, body statement ``i % body_size``.
+    """
+
+    nest_name: str
+    iterations: int
+    body_size: int
+    reads: Tuple[Tuple[AccessColumn, ...], ...]
+    writes: Tuple[AccessColumn, ...]
+
+    def columns(self) -> List[AccessColumn]:
+        """Every column in canonical order: per statement, reads then write."""
+        out: List[AccessColumn] = []
+        for s in range(self.body_size):
+            out.extend(self.reads[s])
+            out.append(self.writes[s])
+        return out
+
+
+def iteration_grid(nest: LoopNest) -> Dict[str, np.ndarray]:
+    """Loop variable -> its value at every iteration (lexicographic order).
+
+    The closed form of :meth:`LoopNest.iterations`: for loops with trip
+    counts ``t_0 .. t_n`` (outermost first), variable ``k`` repeats each of
+    its values ``prod(t_{k+1:})`` times, tiled ``prod(t_{:k})`` times.
+    """
+    trips = [loop.trip_count for loop in nest.loops]
+    total = 1
+    for t in trips:
+        total *= t
+    grid: Dict[str, np.ndarray] = {}
+    repeat = total
+    tile = 1
+    for loop, trip in zip(nest.loops, trips):
+        repeat //= max(trip, 1)
+        values = np.arange(loop.start, loop.stop, loop.step, dtype=np.int64)
+        grid[loop.var] = np.tile(np.repeat(values, repeat), tile)
+        tile *= max(trip, 1)
+    return grid
+
+
+def _evaluate_affine(
+    index: AffineIndex, grid: Dict[str, np.ndarray], iterations: int
+) -> np.ndarray:
+    """``sum(coeff * var) + const`` over the whole grid."""
+    total = np.full(iterations, index.const, dtype=np.int64)
+    for var, coeff in index.coeffs:
+        values = grid.get(var)
+        if values is None:
+            raise WorkloadError(f"unbound loop variable {var!r}")
+        total += coeff * values
+    return total
+
+
+def _evaluate_index(
+    program: Program,
+    index,
+    grid: Dict[str, np.ndarray],
+    iterations: int,
+) -> Tuple[np.ndarray, bool]:
+    """One subscript's value per iteration; returns (values, is_affine)."""
+    if isinstance(index, AffineIndex):
+        return _evaluate_affine(index, grid, iterations), True
+    if isinstance(index, IndirectIndex):
+        data = program.index_data.get(index.array)
+        if data is None:
+            raise WorkloadError(
+                f"no runtime data for index array {index.array!r}; "
+                "call set_index_data or run the inspector first"
+            )
+        if not data:
+            raise WorkloadError(f"index array {index.array!r} is empty")
+        inner = _evaluate_affine(index.inner, grid, iterations)
+        table = np.asarray(data, dtype=np.int64)
+        return table[inner % len(table)], False
+    raise WorkloadError(f"unknown index kind {type(index).__name__}")
+
+
+def resolve_column(
+    program: Program,
+    ref: Ref,
+    grid: Dict[str, np.ndarray],
+    iterations: int,
+) -> AccessColumn:
+    """Resolve one static reference over the whole iteration grid."""
+    decl = program.arrays.get(ref.array)
+    if decl is None:
+        raise WorkloadError(f"undeclared array {ref.array!r}")
+    if not ref.indices:  # scalar
+        return AccessColumn(ref.array, np.zeros(iterations, dtype=np.int64), True)
+    if len(ref.indices) != len(decl.dims):
+        raise WorkloadError(
+            f"array {decl.name!r} has {len(decl.dims)} dims, "
+            f"got {len(ref.indices)} subscripts"
+        )
+    flat = np.zeros(iterations, dtype=np.int64)
+    affine = True
+    for dim, index in zip(decl.dims, ref.indices):
+        values, index_affine = _evaluate_index(program, index, grid, iterations)
+        affine = affine and index_affine
+        # Row-major with the same per-dimension halo clamp as linearize().
+        flat = flat * dim + np.clip(values, 0, dim - 1)
+    return AccessColumn(ref.array, flat, affine)
+
+
+def access_table(program: Program, nest: LoopNest) -> NestAccessTable:
+    """The full :class:`NestAccessTable` of ``nest`` (closed-form resolve)."""
+    grid = iteration_grid(nest)
+    iterations = nest.trip_count
+    reads: List[Tuple[AccessColumn, ...]] = []
+    writes: List[AccessColumn] = []
+    for statement in nest.body:
+        reads.append(
+            tuple(
+                resolve_column(program, ref, grid, iterations)
+                for ref in statement.input_refs()
+            )
+        )
+        writes.append(resolve_column(program, statement.lhs, grid, iterations))
+    return NestAccessTable(
+        nest_name=nest.name,
+        iterations=iterations,
+        body_size=nest.body_size,
+        reads=tuple(reads),
+        writes=tuple(writes),
+    )

@@ -183,6 +183,14 @@ class DataLayout:
         base = self._bases[name]
         return base + np.arange(spec.length, dtype=np.int64) * spec.element_size
 
+    def va_map(self, name: str) -> np.ndarray:
+        """Virtual address of every element of ``name`` (index order).
+
+        The vectorized :meth:`va_of` without bounds checking; the analytic
+        locality model derives lines/regions/banks from these in bulk.
+        """
+        return self._va_vector(name)
+
     def bank_map(self, name: str) -> np.ndarray:
         """SNUCA home L2 bank of every element of ``name`` (index order).
 

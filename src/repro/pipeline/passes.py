@@ -202,6 +202,92 @@ class PredictPass(Pass):
 
 
 @register_pass
+class AnalyticPredictPass(Pass):
+    """§4.1 alternative: closed-form analytic miss prediction.
+
+    Replaces the trace-trained predictor with
+    :class:`repro.core.locality.AnalyticMissPredictor` (DESIGN.md §12):
+    same artifact keys, no cache simulation.  Not in the default order —
+    select it with ``--predictor analytic`` (which swaps it in for
+    ``predict``) or an explicit pass order.  Unlike ``predict``, a seeded
+    ``predictor`` artifact is *overwritten*: asking for the analytic pass
+    means the analytic model, not whatever the facade constructed.
+
+    In check mode the pass also trains the default trace predictor and
+    runs the differential oracle
+    (:func:`repro.check.invariants.check_predictor_agreement`) over the
+    training address stream.
+    """
+
+    info = PassInfo(
+        "predict_analytic", "§4.1", "repro.core.locality", default=False
+    )
+
+    def run(self, session, artifacts: Artifacts) -> None:
+        program: Program = artifacts.require("program", self.info.name)
+        if not session.config.use_predictor:
+            artifacts["predictor"] = None
+            artifacts["predictor_accuracy"] = None
+            return
+        from repro.core.locality import AnalyticMissPredictor
+
+        tracer = session.tracer
+        with tracer.span("compile.analytic_predict") as span:
+            predictor = AnalyticMissPredictor(session.machine, program)
+            model = predictor.model
+            span.add(
+                regions=len(model.region_verdicts),
+                hit_region_fraction=round(model.hit_region_fraction, 6),
+                modeled_hit_fraction=round(model.modeled_hit_fraction(), 6),
+                skipped_nests=len(model.skipped_nests),
+            )
+        artifacts["predictor"] = predictor
+        # The trace pass reports its training accuracy here; the analytic
+        # model is not trained, so it reports its modeled hit fraction.
+        artifacts["predictor_accuracy"] = None
+        if check.enabled():
+            self._differential_oracle(session, program, predictor)
+
+    @staticmethod
+    def _differential_oracle(session, program, predictor) -> None:
+        """Train the trace oracle and bound the verdict disagreement."""
+        from repro.cache.predictor import HitMissPredictor
+        from repro.core.partitioner import train_predictor
+
+        machine = session.machine
+        trace = HitMissPredictor()
+        budget = session.config.predictor_training_instances
+        train_predictor(machine, program, trace, budget)
+        addresses = []
+        layout = machine.layout
+        for seen, instance in enumerate(program.instances()):
+            if seen >= budget or len(addresses) >= 2000:
+                break
+            for access in instance.accesses():
+                addresses.append(layout.pa_of(access.array, access.index))
+        invariants.check_predictor_agreement(predictor, trace, addresses)
+
+
+def predictor_pass_order(predictor: str) -> Optional[Tuple[str, ...]]:
+    """The pass order selecting ``predictor`` ('trace' or 'analytic').
+
+    'trace' (the default pipeline) returns ``None`` — callers pass it
+    straight through as "use the default order"; 'analytic' returns the
+    default order with ``predict`` swapped for ``predict_analytic``.
+    """
+    if predictor == "trace":
+        return None
+    if predictor == "analytic":
+        return tuple(
+            "predict_analytic" if name == "predict" else name
+            for name in DEFAULT_PASS_ORDER
+        )
+    raise ConfigurationError(
+        f"unknown predictor {predictor!r}; choose 'trace' or 'analytic'"
+    )
+
+
+@register_pass
 class InspectPass(Pass):
     """§4.5's inspector: resolve indirect accesses of irregular nests."""
 
@@ -245,6 +331,7 @@ class SplitPass(Pass):
                     locator_for_profiling,
                     fallback_nodes,
                     sample_per_nest=config.profile_instances,
+                    session=session,
                 )
                 split_plan = build_split_plan(profiles, config.window.split_bias)
                 if tracer.enabled:
@@ -311,6 +398,18 @@ class SchedulePass(Pass):
             # the MST work is done once per instance instead of once per
             # pass (see WindowScheduler._split_of for the exact conditions).
             split_cache = session.caches.split_cache_for(nest.name)
+            # Vectorized fast path (repro.core.vectorized): per-nest location
+            # tables + split templates, shared by the gate, the size search,
+            # and the final scheduling.  ensure() replays the whole nest's
+            # page translations in canonical first-touch order up front —
+            # the same frames the lazy scalar touches would assign.
+            from repro.core.vectorized import templates_for
+
+            templates = templates_for(
+                session, program, nest, locator, config.window.flatten_products
+            )
+            if templates is not None:
+                templates.tables.ensure(nest.instance_count)
             reuse = None
             if config.split_plan_override is not None:
                 keys = [(nest.name, b) for b in range(nest.body_size)]
@@ -320,6 +419,7 @@ class SchedulePass(Pass):
                 plan, variant, reuse = self._choose_nest_plan(
                     session, program, nest, locator, fallback_nodes,
                     split_plan, profiles, split_cache, uid_counter, predictor,
+                    templates,
                 )
             chosen_plan.update(plan)
             variant_by_nest[nest.name] = variant
@@ -342,6 +442,7 @@ class SchedulePass(Pass):
                     split_plan=plan,
                     split_cache=split_cache,
                     session=session,
+                    templates=templates,
                 ).search(program, nest)
                 nest_schedules[nest.name] = outcome.best_schedule
                 window_sizes[nest.name] = outcome.best_size
@@ -359,6 +460,7 @@ class SchedulePass(Pass):
                     split_plan=plan,
                     split_cache=split_cache,
                     session=session,
+                    templates=templates,
                 )
                 schedule = scheduler.schedule_nest(program, nest, size)
                 nest_schedules[nest.name] = schedule
@@ -406,6 +508,7 @@ class SchedulePass(Pass):
         split_cache: Dict,
         uid_counter,
         predictor,
+        templates=None,
     ):
         """Pick the nest's split plan empirically (the gate).
 
@@ -448,7 +551,7 @@ class SchedulePass(Pass):
 
         star_cycles, star_movement, star_reuse = self._gate_measure(
             session, program, nest, locator, fallback_nodes, star,
-            split_cache, uid_counter,
+            split_cache, uid_counter, templates,
         )
         tracer.point(
             "gate.candidate",
@@ -465,7 +568,7 @@ class SchedulePass(Pass):
         for variant, plan in candidates:
             cycles, movement, reuse = self._gate_measure(
                 session, program, nest, locator, fallback_nodes, plan,
-                split_cache, uid_counter,
+                split_cache, uid_counter, templates,
             )
             accepted = (
                 cycles < best_cycles
@@ -525,6 +628,7 @@ class SchedulePass(Pass):
         plan: Dict,
         split_cache: Dict,
         uid_counter,
+        templates=None,
     ):
         """(cycles, movement, reuse) of one candidate plan over the sample.
 
@@ -545,6 +649,7 @@ class SchedulePass(Pass):
             split_plan=plan,
             split_cache=split_cache,
             session=session,
+            templates=templates,
         )
         size = 1
         by_size = None
@@ -559,6 +664,7 @@ class SchedulePass(Pass):
                 split_plan=plan,
                 split_cache=split_cache,
                 session=session,
+                templates=templates,
             ).search_sample(program, nest, min(limit, 768))
             size = outcome.best_size
             by_size = outcome.movement_by_size

@@ -52,6 +52,11 @@ class SessionCaches:
 
     def __init__(self) -> None:
         self.split_caches: Dict[str, Dict] = {}
+        #: nest name -> NestTables (or None when the nest/predictor is
+        #: unsupported and the scalar path must be used).
+        self.nest_tables: Dict[str, object] = {}
+        #: (nest name, flatten_products) -> SplitTemplates.
+        self.split_templates: Dict[tuple, object] = {}
 
     def split_cache_for(self, nest_name: str) -> Dict:
         """The (lazily created) split cache of one nest."""
@@ -60,6 +65,8 @@ class SessionCaches:
     def clear(self) -> None:
         """Drop all cached state (called at the start of each compile)."""
         self.split_caches.clear()
+        self.nest_tables.clear()
+        self.split_templates.clear()
 
 
 @dataclass

@@ -81,3 +81,47 @@ class UnionFind:
 
     def __iter__(self) -> Iterator[Hashable]:
         return iter(self._parent)
+
+
+class DenseUnionFind:
+    """Disjoint sets over the dense integer range ``0..size-1``.
+
+    Semantically identical to :class:`UnionFind` seeded with
+    ``range(size)`` (union by rank, two-pass path compression, same
+    tie-breaking), but backed by flat lists instead of dicts — the hot-path
+    variant for the splitter's and scheduler's member ids, which are always
+    small contiguous ints.
+    """
+
+    __slots__ = ("_parent", "_rank")
+
+    def __init__(self, size: int):
+        self._parent = list(range(size))
+        self._rank = [0] * size
+
+    def find(self, element: int) -> int:
+        """Return the canonical representative of ``element``'s set."""
+        parent = self._parent
+        root = element
+        while parent[root] != root:
+            root = parent[root]
+        while parent[element] != root:
+            parent[element], element = root, parent[element]
+        return root
+
+    def union(self, a: int, b: int) -> bool:
+        """Merge the sets of ``a`` and ``b``; True when a merge happened."""
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a == root_b:
+            return False
+        rank = self._rank
+        if rank[root_a] < rank[root_b]:
+            root_a, root_b = root_b, root_a
+        self._parent[root_b] = root_a
+        if rank[root_a] == rank[root_b]:
+            rank[root_a] += 1
+        return True
+
+    def connected(self, a: int, b: int) -> bool:
+        """True when ``a`` and ``b`` are in the same set."""
+        return self.find(a) == self.find(b)

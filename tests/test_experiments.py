@@ -50,7 +50,7 @@ class TestCommon:
 
 
 class TestRegistry:
-    def test_all_fifteen_experiments_registered_in_paper_order(self):
+    def test_all_sixteen_experiments_registered_in_paper_order(self):
         from repro.experiments import runner  # noqa: F401 — triggers imports
 
         titles = [title for title, _ in common.all_experiments()]
@@ -59,6 +59,7 @@ class TestRegistry:
             "Figure 13", "Figure 14", "Figure 15", "Figure 16", "Figure 17",
             "Figure 18", "Figure 19", "Figure 20", "Figure 21", "Figure 22",
             "Figure 23", "Figure 24",
+            "Predictor sweep",
         ]
 
     def test_parse_apps_accepts_known_rejects_unknown(self, capsys):

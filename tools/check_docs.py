@@ -1,0 +1,187 @@
+#!/usr/bin/env python
+"""Documentation gate: markdown link check + docstring coverage.
+
+Zero-dependency (stdlib only), run by ``make docs-check`` and the CI
+``docs`` job.  Two audits:
+
+1. **Markdown links** — every ``[text](target)`` in the checked documents
+   (README.md, DESIGN.md, EXPERIMENTS.md, ROADMAP.md) must resolve:
+   relative targets must exist in the repository, and ``#fragment``
+   anchors must match a heading slug of the target document
+   (GitHub-style slugification).  External ``http(s)://`` and ``mailto:``
+   targets are syntax-checked only — CI must not depend on the network.
+
+2. **Docstring coverage** — every public module, class, function, and
+   method under ``repro.core`` (the partitioning core, including the
+   analytic locality model ``repro.core.locality``) must carry a
+   docstring; coverage below the gate fails the build.  Private names
+   (leading underscore) and trivial ``__init__`` overrides are exempt.
+
+Exit status: 0 when both audits pass, 1 with a per-finding listing
+otherwise.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+REPO = Path(__file__).resolve().parent.parent
+
+CHECKED_DOCS = ("README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md")
+
+DOCSTRING_PACKAGES = (REPO / "src" / "repro" / "core",)
+
+DOCSTRING_GATE = 0.95
+
+# [text](target) with no nested brackets in either part; images (![..])
+# share the link grammar and are checked the same way.
+_LINK = re.compile(r"\[([^\]]*)\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$")
+_CODE_FENCE = re.compile(r"^(```|~~~)")
+
+
+def _slugify(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, drop punctuation, dashes for spaces."""
+    text = re.sub(r"[`*_]", "", heading.strip()).lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _headings(path: Path) -> List[str]:
+    slugs: List[str] = []
+    counts = {}
+    in_fence = False
+    for line in path.read_text().splitlines():
+        if _CODE_FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING.match(line)
+        if match:
+            slug = _slugify(match.group(1))
+            n = counts.get(slug, 0)
+            counts[slug] = n + 1
+            slugs.append(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def _links(path: Path) -> Iterator[Tuple[int, str, str]]:
+    in_fence = False
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if _CODE_FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in _LINK.finditer(line):
+            yield lineno, match.group(1), match.group(2)
+
+
+def check_markdown_links() -> List[str]:
+    problems: List[str] = []
+    for doc in CHECKED_DOCS:
+        doc_path = REPO / doc
+        if not doc_path.exists():
+            problems.append(f"{doc}: checked document is missing")
+            continue
+        for lineno, text, target in _links(doc_path):
+            where = f"{doc}:{lineno}"
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue  # external: syntax alone is the check
+            base, _, fragment = target.partition("#")
+            target_path = doc_path if not base else (doc_path.parent / base)
+            if base and not target_path.exists():
+                problems.append(
+                    f"{where}: broken link [{text}]({target}) — "
+                    f"no such file {base!r}"
+                )
+                continue
+            if fragment and target_path.suffix == ".md":
+                if _slugify(fragment) not in _headings(target_path):
+                    problems.append(
+                        f"{where}: broken anchor [{text}]({target}) — "
+                        f"no heading slug {fragment!r} in {target_path.name}"
+                    )
+    return problems
+
+
+def _public_defs(tree: ast.Module) -> Iterator[Tuple[str, ast.AST]]:
+    """(qualified name, node) of every public def/class, module included."""
+    yield "<module>", tree
+
+    def walk(node: ast.AST, prefix: str) -> Iterator[Tuple[str, ast.AST]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                name = child.name
+                if name.startswith("_") and name != "__init__":
+                    continue
+                if name == "__init__" and not _nontrivial_init(child):
+                    continue
+                qualified = f"{prefix}{name}"
+                yield qualified, child
+                if isinstance(child, ast.ClassDef):
+                    yield from walk(child, f"{qualified}.")
+
+    yield from walk(tree, "")
+
+
+def _nontrivial_init(node: ast.AST) -> bool:
+    """An ``__init__`` long enough that skipping its docstring is a gap."""
+    return isinstance(node, ast.FunctionDef) and len(node.body) > 3
+
+
+def check_docstrings() -> Tuple[List[str], int, int]:
+    missing: List[str] = []
+    documented = total = 0
+    for package in DOCSTRING_PACKAGES:
+        for path in sorted(package.rglob("*.py")):
+            rel = path.relative_to(REPO)
+            tree = ast.parse(path.read_text())
+            for name, node in _public_defs(tree):
+                total += 1
+                if ast.get_docstring(node):
+                    documented += 1
+                else:
+                    missing.append(f"{rel}: {name} has no docstring")
+    return missing, documented, total
+
+
+def main() -> int:
+    failures = 0
+
+    problems = check_markdown_links()
+    if problems:
+        failures += 1
+        print(f"markdown link check: {len(problems)} problem(s)")
+        for problem in problems:
+            print(f"  {problem}")
+    else:
+        checked = ", ".join(CHECKED_DOCS)
+        print(f"markdown link check: ok ({checked})")
+
+    missing, documented, total = check_docstrings()
+    coverage = documented / total if total else 1.0
+    scope = ", ".join(
+        str(p.relative_to(REPO)) for p in DOCSTRING_PACKAGES
+    )
+    print(
+        f"docstring coverage: {documented}/{total} = {coverage:.1%} "
+        f"over {scope} (gate: {DOCSTRING_GATE:.0%})"
+    )
+    if coverage < DOCSTRING_GATE:
+        failures += 1
+        for line in missing:
+            print(f"  {line}")
+
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
