@@ -9,7 +9,8 @@ REPORT_OUT ?= report.json
 COV_MIN ?= 78
 
 .PHONY: test lint cov check bench bench-smoke bench-regression quick report \
-	report-smoke faults-demo docs-check examples-smoke
+	report-smoke faults-demo docs-check examples-smoke serve-smoke \
+	serve-bench
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -71,6 +72,27 @@ examples-smoke:
 	@set -e; for ex in examples/*.py; do \
 		echo "== $$ex"; $(PYTHON) $$ex > /dev/null; \
 	done; echo "examples-smoke: ok"
+
+# CI's serve-smoke gate: spawn a daemon, drive 1000 requests (200 unique
+# cold + 800 warm repeats) through 50 concurrent clients, then assert a
+# >= 90% warm cache hit rate, byte-identity between a cached artifact and
+# a fresh in-process compile, and a clean SIGTERM drain.  Writes
+# BENCH_serve_fresh.json + serve_trace.jsonl and compares against the
+# committed BENCH_serve.json baseline.
+serve-smoke:
+	$(PYTHON) -m repro.serve.loadgen --spawn \
+		--requests 1000 --unique 200 --clients 50 --workers 2 \
+		--trace serve_trace.jsonl --out BENCH_serve_fresh.json \
+		--assert-warm-hit-rate 0.9 --verify-identity
+	$(PYTHON) -m repro.benchmarks.regression \
+		--serve-baseline BENCH_serve.json --serve-fresh BENCH_serve_fresh.json
+
+# Refresh the committed serve baseline (run on a quiet machine).
+serve-bench:
+	$(PYTHON) -m repro.serve.loadgen --spawn \
+		--requests 1000 --unique 200 --clients 50 --workers 2 \
+		--out BENCH_serve.json \
+		--assert-warm-hit-rate 0.9 --verify-identity
 
 # Fault-injection demo: seeded random plan -> degraded run -> detour heatmap.
 faults-demo:

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Compile-as-a-service walkthrough: daemon, cache, batch, drain.
+
+Boots a `repro.serve` daemon in-process (workers=0: compiles run inline,
+no forking — same HTTP surface as production), then walks the service
+lifecycle a real client would see:
+
+1. a cold compile request (cache miss — the daemon compiles),
+2. the identical request again (cache hit — one disk read, and the
+   response bytes are identical to the first),
+3. a request with a different predictor (a *different* fingerprint:
+   predictor choice is part of the cache key),
+4. a batch request mixing hits and misses,
+5. `/stats` counters, then a clean drain via `/shutdown`.
+
+Run:  python examples/serve_client.py
+"""
+
+import json
+import tempfile
+
+from repro.serve import ServeClient, ServeConfig, ServeDaemon
+from repro.serve.request import CompileRequest
+
+
+def main() -> None:
+    cache_dir = tempfile.mkdtemp(prefix="serve_example_")
+    daemon = ServeDaemon(
+        ServeConfig(workers=0, cache_dir=cache_dir)
+    ).start()
+    print(f"daemon listening on {daemon.url} (cache: {cache_dir})")
+
+    request = {"app": "tiny", "seed": 7}
+    fingerprint = CompileRequest.from_json(dict(request)).fingerprint()
+    print(f"\nrequest {request} -> fingerprint {fingerprint}")
+
+    with ServeClient(daemon.url) as client:
+        # 1. Cold: the daemon compiles and stores the artifact.
+        first, cache = client.compile_raw(dict(request))
+        artifact = json.loads(first)
+        print(f"cold:  X-Cache={cache}  movement={artifact['movement']}")
+
+        # 2. Warm: same fingerprint, served from the store, same bytes.
+        second, cache = client.compile_raw(dict(request))
+        print(f"warm:  X-Cache={cache}  byte-identical={first == second}")
+
+        # 3. Predictor choice is part of the key: this is a new compile.
+        analytic = {**request, "predictor": "analytic"}
+        print(
+            "analytic fingerprint:",
+            CompileRequest.from_json(dict(analytic)).fingerprint(),
+        )
+        _, cache = client.compile_raw(analytic)
+        print(f"analytic:  X-Cache={cache}")
+
+        # 4. Batch: members are independent (own cache slot each).
+        batch = client.batch([dict(request), {"app": "tiny", "seed": 8}])
+        print(f"batch: cache={batch['cache']}")
+
+        # 5. Counters, then drain.
+        stats = client.stats()
+        print(
+            f"stats: {stats['requests']} requests, "
+            f"{stats['cache_hits']} hits, {stats['compiles']} compiles, "
+            f"{stats['store']['entries']} artifacts on disk"
+        )
+        print(f"shutdown: {client.shutdown()}")
+
+    clean = daemon.stop()
+    print(f"drained cleanly: {clean}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,4 +1,4 @@
-"""Bench-regression gate: compare a fresh perf run against the baseline.
+"""Bench-regression gate: compare fresh perf runs against baselines.
 
 ``python -m repro.benchmarks.regression --baseline BENCH_compile.json
 --fresh BENCH_fresh.json [--tolerance 3.0]`` compares per-app
@@ -9,12 +9,21 @@ total; any regression (or an app missing from the fresh run) prints a
 clear verdict line and exits 1, which is what fails CI's
 ``bench-regression`` job.
 
-The default tolerance is deliberately generous (3x): shared CI runners
-have noisy wall clocks, and this gate exists to catch order-of-magnitude
-algorithmic regressions (an accidentally quadratic search, a dropped
-cache), not a few percent of jitter.  Apps present only in the fresh run
-are reported but never fail the gate, so the baseline can trail the app
-list without blocking.
+The service path is gated the same way: ``--serve-baseline
+BENCH_serve.json --serve-fresh BENCH_serve_fresh.json
+[--serve-tolerance 5.0]`` compares the load harness's per-phase p99
+latency (fresh must stay under ``tolerance x`` baseline) and throughput
+(fresh must stay above ``baseline / tolerance``), so a service-path
+regression — a dropped cache, an accidentally serialized queue — fails
+the job exactly like a compile-path one.  Either comparison (or both)
+may be requested; at least one pair is required.
+
+The default tolerances are deliberately generous (3x compile, 5x
+serve): shared CI runners have noisy wall clocks, and this gate exists
+to catch order-of-magnitude algorithmic regressions (an accidentally
+quadratic search, a dropped cache), not a few percent of jitter.  Apps
+present only in the fresh run are reported but never fail the gate, so
+the baseline can trail the app list without blocking.
 """
 
 from __future__ import annotations
@@ -26,6 +35,10 @@ from typing import Dict, List, Optional
 
 #: Fresh total may be up to this multiple of baseline before failing.
 DEFAULT_TOLERANCE = 3.0
+
+#: Service latency/throughput tolerance (serve numbers are noisier than
+#: compile totals: they mix queueing, fork scheduling, and loopback TCP).
+DEFAULT_SERVE_TOLERANCE = 5.0
 
 
 def _totals(payload: Dict) -> Dict[str, float]:
@@ -62,6 +75,44 @@ def compare(
     return problems
 
 
+def compare_serve(
+    baseline: Dict, fresh: Dict, tolerance: float = DEFAULT_SERVE_TOLERANCE
+) -> List[str]:
+    """Regression messages (empty = pass) comparing two serve payloads.
+
+    Per phase (``cold``, ``warm``): fresh p99 latency must stay under
+    ``tolerance x`` baseline p99, and fresh throughput must stay above
+    ``baseline / tolerance``.  A phase absent from the fresh run is a
+    regression; one absent from both is skipped, and zero baselines
+    (clock granularity, empty phases) admit no ratio and never fail.
+    """
+    problems: List[str] = []
+    for phase in ("cold", "warm"):
+        base = baseline.get(phase)
+        new = fresh.get(phase)
+        if base is None:
+            continue
+        if new is None:
+            problems.append(f"serve/{phase}: present in baseline but not measured")
+            continue
+        base_p99 = float(base.get("p99_ms", 0.0))
+        new_p99 = float(new.get("p99_ms", 0.0))
+        if base_p99 > 0 and new_p99 > tolerance * base_p99:
+            problems.append(
+                f"serve/{phase}: p99 {new_p99:.1f}ms exceeds {tolerance:.1f}x "
+                f"baseline {base_p99:.1f}ms (limit {tolerance * base_p99:.1f}ms)"
+            )
+        base_rps = float(base.get("throughput_rps", 0.0))
+        new_rps = float(new.get("throughput_rps", 0.0))
+        if base_rps > 0 and new_rps < base_rps / tolerance:
+            problems.append(
+                f"serve/{phase}: throughput {new_rps:.1f} req/s below "
+                f"baseline {base_rps:.1f} / {tolerance:.1f} "
+                f"(floor {base_rps / tolerance:.1f} req/s)"
+            )
+    return problems
+
+
 def _load(path: str, role: str) -> Optional[Dict]:
     """Parse one bench JSON; None (with a clear stderr line) on failure."""
     try:
@@ -78,29 +129,8 @@ def _load(path: str, role: str) -> Optional[Dict]:
     return None
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--baseline",
-        default="BENCH_compile.json",
-        help="committed baseline JSON (default: BENCH_compile.json)",
-    )
-    parser.add_argument(
-        "--fresh", required=True, help="freshly measured perf JSON"
-    )
-    parser.add_argument(
-        "--tolerance",
-        type=float,
-        default=DEFAULT_TOLERANCE,
-        help="allowed fresh/baseline wall-time ratio (default %(default)s)",
-    )
-    args = parser.parse_args(argv)
-
-    baseline = _load(args.baseline, "baseline")
-    fresh = _load(args.fresh, "fresh")
-    if baseline is None or fresh is None:
-        return 2
-
+def _report_compile(baseline: Dict, fresh: Dict) -> None:
+    """Print the per-app baseline/fresh/ratio table."""
     baseline_totals = _totals(baseline)
     fresh_totals = _totals(fresh)
     for app in sorted(set(baseline_totals) | set(fresh_totals)):
@@ -118,16 +148,93 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"ratio={new / base:.2f}x"
             )
 
-    problems = compare(baseline, fresh, args.tolerance)
-    if problems:
+
+def _report_serve(baseline: Dict, fresh: Dict) -> None:
+    """Print the per-phase serve baseline/fresh table."""
+    for phase in ("cold", "warm"):
+        base = baseline.get(phase)
+        new = fresh.get(phase)
+        if base is None and new is None:
+            continue
+        base_p99 = float((base or {}).get("p99_ms", 0.0))
+        base_rps = float((base or {}).get("throughput_rps", 0.0))
+        new_p99 = float((new or {}).get("p99_ms", 0.0))
+        new_rps = float((new or {}).get("throughput_rps", 0.0))
         print(
-            f"\nbench regression (tolerance {args.tolerance:.1f}x):",
-            file=sys.stderr,
+            f"{'serve/' + phase:>12}  "
+            f"p99 {base_p99:.1f}ms -> {new_p99:.1f}ms  "
+            f"throughput {base_rps:.1f} -> {new_rps:.1f} req/s"
         )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--baseline",
+        default="",
+        help="committed compile baseline JSON (e.g. BENCH_compile.json)",
+    )
+    parser.add_argument(
+        "--fresh", default="", help="freshly measured compile perf JSON"
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="allowed fresh/baseline wall-time ratio (default %(default)s)",
+    )
+    parser.add_argument(
+        "--serve-baseline",
+        default="",
+        help="committed serve baseline JSON (e.g. BENCH_serve.json)",
+    )
+    parser.add_argument(
+        "--serve-fresh", default="", help="freshly measured serve load JSON"
+    )
+    parser.add_argument(
+        "--serve-tolerance",
+        type=float,
+        default=DEFAULT_SERVE_TOLERANCE,
+        help="allowed serve p99/throughput ratio (default %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    if bool(args.baseline or args.fresh) and not (args.baseline and args.fresh):
+        # --baseline used to default to BENCH_compile.json; keep that for
+        # callers who pass only --fresh.
+        args.baseline = args.baseline or "BENCH_compile.json"
+        if not args.fresh:
+            parser.error("--baseline requires --fresh")
+    if bool(args.serve_baseline) != bool(args.serve_fresh):
+        parser.error("--serve-baseline and --serve-fresh go together")
+    if not args.fresh and not args.serve_fresh:
+        parser.error(
+            "nothing to compare: pass --baseline/--fresh and/or "
+            "--serve-baseline/--serve-fresh"
+        )
+
+    problems: List[str] = []
+    if args.fresh:
+        baseline = _load(args.baseline, "baseline")
+        fresh = _load(args.fresh, "fresh")
+        if baseline is None or fresh is None:
+            return 2
+        _report_compile(baseline, fresh)
+        problems += compare(baseline, fresh, args.tolerance)
+    if args.serve_fresh:
+        serve_baseline = _load(args.serve_baseline, "serve baseline")
+        serve_fresh = _load(args.serve_fresh, "serve fresh")
+        if serve_baseline is None or serve_fresh is None:
+            return 2
+        _report_serve(serve_baseline, serve_fresh)
+        problems += compare_serve(serve_baseline, serve_fresh, args.serve_tolerance)
+
+    if problems:
+        print("\nbench regression:", file=sys.stderr)
         for problem in problems:
             print(f"  {problem}", file=sys.stderr)
         return 1
-    print(f"\nok: no app exceeds {args.tolerance:.1f}x its baseline")
+    print("\nok: no benchmark exceeds its tolerance")
     return 0
 
 

@@ -12,6 +12,13 @@ Subcommands:
 * ``faults``        — fault-injection demo: generate a seeded random
   :class:`~repro.faults.FaultPlan`, run an app on the degraded machine,
   and print the plan, the degradation overheads, and the detour heatmap.
+* ``serve``         — run the compile-as-a-service daemon
+  (:mod:`repro.serve.daemon`): content-addressed artifact cache,
+  persistent worker pool, bounded queue with 429 backpressure, graceful
+  SIGTERM drain.
+* ``client``        — talk to a running daemon
+  (:mod:`repro.serve.client`): send a compile request, print stats or
+  health, or ask it to drain.
 * ``list``          — list the available workloads.
 
 ``compare``, ``report``, and ``experiments`` accept ``--trace FILE`` to
@@ -277,6 +284,20 @@ def _cmd_faults(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """Run the compile service daemon (flags parsed by repro.serve.daemon)."""
+    from repro.serve.daemon import main as serve_main
+
+    return serve_main(args.serve_args)
+
+
+def _cmd_client(args) -> int:
+    """Talk to a running daemon (flags parsed by repro.serve.client)."""
+    from repro.serve.client import main as client_main
+
+    return client_main(args.client_args)
+
+
 def _cmd_experiments(args) -> int:
     from repro.experiments.runner import main as runner_main
 
@@ -295,6 +316,23 @@ def _cmd_experiments(args) -> int:
 
 def main(argv: List[str] = None) -> int:
     """Parse ``argv`` (default: ``sys.argv[1:]``) and dispatch a subcommand."""
+    if argv is None:
+        argv = sys.argv[1:]
+    # ``serve`` and ``client`` own their whole flag surface (argparse's
+    # REMAINDER cannot forward leading optionals), so dispatch them
+    # before the main parser sees their flags.
+    if argv and argv[0] in ("serve", "client"):
+        try:
+            if argv[0] == "serve":
+                from repro.serve.daemon import main as serve_main
+
+                return serve_main(argv[1:])
+            from repro.serve.client import main as client_main
+
+            return client_main(argv[1:])
+        except (ReproError, FileNotFoundError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -431,6 +469,30 @@ def main(argv: List[str] = None) -> int:
     codegen.add_argument("--scale", type=int, default=1)
     codegen.add_argument("--seed", type=int, default=0)
     codegen.set_defaults(func=_cmd_codegen)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the compile-as-a-service daemon (repro.serve)",
+    )
+    serve.add_argument(
+        "serve_args",
+        nargs=argparse.REMAINDER,
+        help="daemon flags (see `repro serve -- --help`): --port, "
+        "--workers, --queue-depth, --cache-dir, --trace, ...",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    client = sub.add_parser(
+        "client",
+        help="send requests to a running serve daemon",
+    )
+    client.add_argument(
+        "client_args",
+        nargs=argparse.REMAINDER,
+        help="client arguments (see `repro client -- --help`): "
+        "URL compile|stats|health|shutdown [flags]",
+    )
+    client.set_defaults(func=_cmd_client)
 
     experiments = sub.add_parser("experiments", help="run the table/figure suite")
     experiments.add_argument("--quick", action="store_true")

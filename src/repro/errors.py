@@ -60,3 +60,11 @@ class CheckError(ReproError):
     :mod:`repro.check` subsystem: an optimized path disagreed with its
     brute-force reference, or a runtime conservation invariant broke.
     """
+
+
+class ServeError(ReproError):
+    """A compile-service request or daemon configuration is invalid.
+
+    Raised by :mod:`repro.serve` for malformed compile requests, bad
+    daemon/loadgen configuration, and client-observed protocol errors.
+    """

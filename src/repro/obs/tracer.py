@@ -41,6 +41,7 @@ every load-balancer veto) are additionally gated behind ``debug=True``.
 from __future__ import annotations
 
 import json
+import threading
 import time
 from typing import Any, Dict, IO, Iterator, List, Optional, Union
 
@@ -138,9 +139,15 @@ class Tracer:
 
     Events are written eagerly, one line per event, with sorted keys so a
     byte comparison of two trace files is meaningful.
+
+    Emission is serialized by a lock, so one tracer may be shared by
+    concurrent threads (the ``repro.serve`` daemon traces every request
+    handler through the process tracer): events never interleave
+    mid-line and ``seq`` stays strictly monotonic.  The lock is
+    uncontended on the single-threaded compile paths.
     """
 
-    __slots__ = ("enabled", "debug", "_sink", "_seq", "_t0")
+    __slots__ = ("enabled", "debug", "_sink", "_seq", "_t0", "_lock")
 
     def __init__(self, sink: IO[str], debug: bool = False):
         self.enabled = True
@@ -148,6 +155,7 @@ class Tracer:
         self._sink = sink
         self._seq = 0
         self._t0 = time.perf_counter()
+        self._lock = threading.Lock()
 
     def _now(self) -> float:
         return time.perf_counter() - self._t0
@@ -159,18 +167,19 @@ class Tracer:
         payload: Dict[str, Any],
         dur: Optional[float] = None,
     ) -> None:
-        event: Dict[str, Any] = {
-            "ev": ev,
-            "name": name,
-            "seq": self._seq,
-            "t": round(self._now(), 9),
-        }
-        if dur is not None:
-            event["dur"] = round(dur, 9)
-        if payload:
-            event["data"] = payload
-        self._seq += 1
-        self._sink.write(json.dumps(event, sort_keys=True) + "\n")
+        with self._lock:
+            event: Dict[str, Any] = {
+                "ev": ev,
+                "name": name,
+                "seq": self._seq,
+                "t": round(self._now(), 9),
+            }
+            if dur is not None:
+                event["dur"] = round(dur, 9)
+            if payload:
+                event["data"] = payload
+            self._seq += 1
+            self._sink.write(json.dumps(event, sort_keys=True) + "\n")
 
     def span(self, name: str, **payload) -> _Span:
         """Open a span; use as a context manager."""

@@ -10,8 +10,10 @@ context:
 * :mod:`repro.pipeline.passes` — the :data:`PASS_REGISTRY` of named
   passes and :data:`DEFAULT_PASS_ORDER`;
 * :mod:`repro.pipeline.manager` — the :class:`PassManager` driver;
-* :mod:`repro.pipeline.batch` — :func:`compile_many` and the shared
-  ``--jobs`` pool helper :func:`run_pool`.
+* :mod:`repro.pipeline.batch` — :func:`compile_many`, the shared
+  ``--jobs`` pool helper :func:`run_pool`, and the persistent
+  :class:`WorkerPool` the compile service (:mod:`repro.serve`) shards
+  requests across.
 
 :func:`compile_program` is the one-call front-end: session in, partition
 out, bit-identical to the pre-pipeline ``NdpPartitioner.partition`` under
@@ -22,7 +24,7 @@ from __future__ import annotations
 
 from repro.core.partitioner import PartitionResult
 from repro.ir.program import Program
-from repro.pipeline.batch import compile_many, run_pool
+from repro.pipeline.batch import WorkerCrash, WorkerPool, compile_many, run_pool
 from repro.pipeline.manager import PassManager
 from repro.pipeline.passes import (
     DEFAULT_PASS_ORDER,
@@ -42,6 +44,8 @@ __all__ = [
     "PassInfo",
     "PassManager",
     "SessionCaches",
+    "WorkerCrash",
+    "WorkerPool",
     "compile_many",
     "compile_program",
     "run_pool",

@@ -1,0 +1,158 @@
+"""Content-addressed artifact store: fingerprint -> artifact bytes on disk.
+
+One artifact per file, named ``<fingerprint>.json`` under the cache
+directory.  Three properties matter:
+
+* **Atomic writes** — an artifact is written to a temporary file in the
+  same directory and ``os.replace``-d into place, so a reader never sees
+  a torn artifact and two writers racing on the same fingerprint both
+  leave a complete (identical — the store is content-addressed) file.
+* **LRU size cap** — the store tracks total bytes; putting an artifact
+  past ``capacity_bytes`` evicts least-recently-*used* artifacts first
+  (use = hit or put; recency is tracked in-process, seeded from file
+  mtimes on startup so a restarted daemon evicts sensibly).
+* **Thread safety** — the daemon's handler threads share one store; all
+  index mutations happen under a lock.  Byte content needs no locking
+  beyond atomic replace.
+
+The store never invents artifacts: a ``get`` on a file deleted out from
+under it (or unreadable) is a miss, not an error.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional
+
+#: Default size cap: plenty for tens of thousands of tiny artifacts but
+#: small enough that a runaway load test cannot fill a CI disk.
+DEFAULT_CAPACITY_BYTES = 256 * 1024 * 1024
+
+
+class ArtifactStore:
+    """Disk-backed, LRU-capped, content-addressed artifact cache."""
+
+    def __init__(
+        self, root: str, capacity_bytes: int = DEFAULT_CAPACITY_BYTES
+    ):
+        if capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive")
+        self.root = root
+        self.capacity_bytes = capacity_bytes
+        self._lock = threading.Lock()
+        #: fingerprint -> size in bytes, in LRU order (oldest first).
+        self._index: "OrderedDict[str, int]" = OrderedDict()
+        self._total_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+        self.evictions = 0
+        os.makedirs(root, exist_ok=True)
+        self._load_index()
+
+    # -- paths -------------------------------------------------------------
+
+    def path_of(self, fingerprint: str) -> str:
+        """The artifact file of one fingerprint (may not exist)."""
+        return os.path.join(self.root, f"{fingerprint}.json")
+
+    def _load_index(self) -> None:
+        """Seed the LRU index from existing files, oldest mtime first."""
+        entries = []
+        for name in os.listdir(self.root):
+            if not name.endswith(".json"):
+                continue
+            path = os.path.join(self.root, name)
+            try:
+                stat = os.stat(path)
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, name[: -len(".json")], stat.st_size))
+        for _, fingerprint, size in sorted(entries):
+            self._index[fingerprint] = size
+            self._total_bytes += size
+
+    # -- store API ---------------------------------------------------------
+
+    def get(self, fingerprint: str) -> Optional[bytes]:
+        """The cached artifact bytes, or ``None`` (counts hit/miss)."""
+        try:
+            with open(self.path_of(fingerprint), "rb") as fh:
+                blob = fh.read()
+        except OSError:
+            with self._lock:
+                self.misses += 1
+                # The file is gone regardless of what the index believed.
+                size = self._index.pop(fingerprint, None)
+                if size is not None:
+                    self._total_bytes -= size
+            return None
+        with self._lock:
+            self.hits += 1
+            size = self._index.pop(fingerprint, len(blob))
+            self._index[fingerprint] = size  # move to MRU position
+        return blob
+
+    def put(self, fingerprint: str, blob: bytes) -> None:
+        """Store ``blob`` atomically and evict past the capacity cap."""
+        fd, tmp_path = tempfile.mkstemp(
+            dir=self.root, prefix=f".{fingerprint}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(blob)
+            os.replace(tmp_path, self.path_of(fingerprint))
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        evict = []
+        with self._lock:
+            self.puts += 1
+            previous = self._index.pop(fingerprint, None)
+            if previous is not None:
+                self._total_bytes -= previous
+            self._index[fingerprint] = len(blob)
+            self._total_bytes += len(blob)
+            while self._total_bytes > self.capacity_bytes and len(self._index) > 1:
+                victim, size = self._index.popitem(last=False)
+                self._total_bytes -= size
+                self.evictions += 1
+                evict.append(victim)
+        for victim in evict:
+            try:
+                os.unlink(self.path_of(victim))
+            except OSError:
+                pass
+
+    def __contains__(self, fingerprint: str) -> bool:
+        with self._lock:
+            return fingerprint in self._index
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._index)
+
+    @property
+    def total_bytes(self) -> int:
+        """Total bytes currently indexed."""
+        with self._lock:
+            return self._total_bytes
+
+    def stats(self) -> Dict:
+        """JSON-safe snapshot for ``/stats`` and the load harness."""
+        with self._lock:
+            return {
+                "entries": len(self._index),
+                "bytes": self._total_bytes,
+                "capacity_bytes": self.capacity_bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "puts": self.puts,
+                "evictions": self.evictions,
+            }

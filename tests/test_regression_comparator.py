@@ -2,7 +2,15 @@
 
 import json
 
-from repro.benchmarks.regression import DEFAULT_TOLERANCE, compare, main
+import pytest
+
+from repro.benchmarks.regression import (
+    DEFAULT_SERVE_TOLERANCE,
+    DEFAULT_TOLERANCE,
+    compare,
+    compare_serve,
+    main,
+)
 
 
 def _payload(**totals):
@@ -17,6 +25,13 @@ def _payload(**totals):
 def _write(path, payload):
     path.write_text(json.dumps(payload))
     return str(path)
+
+
+def _serve_payload(cold_p99=50.0, cold_rps=100.0, warm_p99=10.0, warm_rps=500.0):
+    return {
+        "cold": {"p99_ms": cold_p99, "throughput_rps": cold_rps},
+        "warm": {"p99_ms": warm_p99, "throughput_rps": warm_rps},
+    }
 
 
 class TestCompare:
@@ -90,3 +105,85 @@ class TestMain:
         fresh = _write(tmp_path / "fresh.json", _payload(stream=5.0))
         assert main(["--baseline", baseline, "--fresh", fresh]) == 0
         assert "(no ratio)" in capsys.readouterr().out
+
+    def test_no_comparison_requested_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+        assert "nothing to compare" in capsys.readouterr().err
+
+
+class TestCompareServe:
+    def test_identical_payloads_pass(self):
+        payload = _serve_payload()
+        assert compare_serve(payload, payload) == []
+
+    def test_p99_regression_reported_per_phase(self):
+        slow = _serve_payload(warm_p99=10.0 * DEFAULT_SERVE_TOLERANCE + 1.0)
+        problems = compare_serve(_serve_payload(), slow)
+        assert len(problems) == 1
+        assert "serve/warm" in problems[0] and "p99" in problems[0]
+
+    def test_throughput_regression_reported(self):
+        slow = _serve_payload(cold_rps=100.0 / DEFAULT_SERVE_TOLERANCE - 1.0)
+        problems = compare_serve(_serve_payload(), slow)
+        assert len(problems) == 1
+        assert "serve/cold" in problems[0] and "throughput" in problems[0]
+
+    def test_missing_fresh_phase_is_a_problem(self):
+        fresh = {"cold": _serve_payload()["cold"]}
+        problems = compare_serve(_serve_payload(), fresh)
+        assert problems == ["serve/warm: present in baseline but not measured"]
+
+    def test_zero_baselines_admit_no_ratio(self):
+        empty = _serve_payload(0.0, 0.0, 0.0, 0.0)
+        assert compare_serve(empty, _serve_payload()) == []
+
+    def test_custom_tolerance(self):
+        slow = _serve_payload(warm_p99=25.0)
+        assert compare_serve(_serve_payload(), slow, tolerance=2.0) != []
+        assert compare_serve(_serve_payload(), slow, tolerance=3.0) == []
+
+
+class TestServeMain:
+    def test_serve_only_run(self, tmp_path, capsys):
+        baseline = _write(tmp_path / "serve_base.json", _serve_payload())
+        fresh = _write(tmp_path / "serve_fresh.json", _serve_payload())
+        rc = main(["--serve-baseline", baseline, "--serve-fresh", fresh])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "serve/cold" in out and "serve/warm" in out
+
+    def test_serve_regression_exits_one(self, tmp_path, capsys):
+        baseline = _write(tmp_path / "serve_base.json", _serve_payload())
+        fresh = _write(
+            tmp_path / "serve_fresh.json", _serve_payload(warm_p99=10000.0)
+        )
+        rc = main(["--serve-baseline", baseline, "--serve-fresh", fresh])
+        assert rc == 1
+        assert "serve/warm" in capsys.readouterr().err
+
+    def test_compile_and_serve_combined(self, tmp_path):
+        compile_base = _write(tmp_path / "b.json", _payload(stream=1.0))
+        compile_fresh = _write(tmp_path / "f.json", _payload(stream=1.1))
+        serve_base = _write(tmp_path / "sb.json", _serve_payload())
+        serve_fresh = _write(tmp_path / "sf.json", _serve_payload())
+        rc = main([
+            "--baseline", compile_base, "--fresh", compile_fresh,
+            "--serve-baseline", serve_base, "--serve-fresh", serve_fresh,
+        ])
+        assert rc == 0
+
+    def test_serve_flags_must_pair(self, tmp_path, capsys):
+        baseline = _write(tmp_path / "sb.json", _serve_payload())
+        with pytest.raises(SystemExit):
+            main(["--serve-baseline", baseline])
+        assert "go together" in capsys.readouterr().err
+
+    def test_missing_serve_file_exits_two(self, tmp_path, capsys):
+        baseline = _write(tmp_path / "sb.json", _serve_payload())
+        rc = main([
+            "--serve-baseline", baseline,
+            "--serve-fresh", str(tmp_path / "nope.json"),
+        ])
+        assert rc == 2
+        assert "nope.json" in capsys.readouterr().err

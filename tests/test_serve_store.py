@@ -1,0 +1,112 @@
+"""ArtifactStore: atomic writes, LRU eviction, and crash tolerance."""
+
+import os
+
+import pytest
+
+from repro.serve.store import ArtifactStore
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(str(tmp_path / "cache"), capacity_bytes=1000)
+
+
+class TestBasics:
+    def test_roundtrip(self, store):
+        store.put("abcd", b"artifact")
+        assert store.get("abcd") == b"artifact"
+        assert "abcd" in store
+        assert len(store) == 1
+        assert store.total_bytes == len(b"artifact")
+
+    def test_missing_is_a_miss(self, store):
+        assert store.get("nope") is None
+        assert store.stats()["misses"] == 1
+
+    def test_overwrite_same_key_counts_once(self, store):
+        store.put("abcd", b"one")
+        store.put("abcd", b"three")
+        assert len(store) == 1
+        assert store.total_bytes == len(b"three")
+        assert store.get("abcd") == b"three"
+
+    def test_artifact_is_one_file_per_fingerprint(self, store):
+        store.put("abcd", b"blob")
+        assert os.path.isfile(store.path_of("abcd"))
+        with open(store.path_of("abcd"), "rb") as fh:
+            assert fh.read() == b"blob"
+
+    def test_no_temp_droppings_after_put(self, store):
+        store.put("abcd", b"blob")
+        leftovers = [n for n in os.listdir(store.root) if n.endswith(".tmp")]
+        assert leftovers == []
+
+
+class TestLRU:
+    def test_capacity_evicts_oldest_first(self, store):
+        # 1000-byte cap; four 300-byte artifacts -> first one evicted.
+        for i in range(4):
+            store.put(f"fp{i}", b"x" * 300)
+        assert "fp0" not in store
+        assert all(f"fp{i}" in store for i in (1, 2, 3))
+        assert store.stats()["evictions"] == 1
+        assert not os.path.exists(store.path_of("fp0"))
+
+    def test_get_refreshes_recency(self, store):
+        for i in range(3):
+            store.put(f"fp{i}", b"x" * 300)
+        store.get("fp0")  # fp0 becomes MRU; fp1 is now oldest
+        store.put("fp3", b"x" * 300)
+        assert "fp0" in store
+        assert "fp1" not in store
+
+    def test_oversized_artifact_still_stored(self, store):
+        """The cap never evicts down to zero entries."""
+        store.put("big", b"x" * 5000)
+        assert store.get("big") == b"x" * 5000
+        assert len(store) == 1
+
+    def test_index_seeded_from_disk(self, tmp_path):
+        root = str(tmp_path / "cache")
+        first = ArtifactStore(root, capacity_bytes=1000)
+        first.put("abcd", b"persisted")
+        reopened = ArtifactStore(root, capacity_bytes=1000)
+        assert "abcd" in reopened
+        assert reopened.get("abcd") == b"persisted"
+        assert reopened.total_bytes == len(b"persisted")
+
+
+class TestCrashTolerance:
+    def test_deleted_file_is_a_miss_and_index_heals(self, store):
+        store.put("abcd", b"blob")
+        os.unlink(store.path_of("abcd"))
+        assert store.get("abcd") is None
+        assert "abcd" not in store
+        assert store.total_bytes == 0
+
+    def test_non_artifact_files_ignored_on_load(self, tmp_path):
+        root = tmp_path / "cache"
+        root.mkdir()
+        (root / "README.txt").write_text("not an artifact")
+        store = ArtifactStore(str(root), capacity_bytes=1000)
+        assert len(store) == 0
+
+    def test_bad_capacity_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ArtifactStore(str(tmp_path / "c"), capacity_bytes=0)
+
+    def test_stats_shape(self, store):
+        store.put("abcd", b"blob")
+        store.get("abcd")
+        store.get("gone")
+        stats = store.stats()
+        assert stats == {
+            "entries": 1,
+            "bytes": 4,
+            "capacity_bytes": 1000,
+            "hits": 1,
+            "misses": 1,
+            "puts": 1,
+            "evictions": 0,
+        }
