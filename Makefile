@@ -10,7 +10,7 @@ COV_MIN ?= 78
 
 .PHONY: test lint cov check bench bench-smoke bench-regression quick report \
 	report-smoke faults-demo docs-check examples-smoke serve-smoke \
-	serve-bench
+	serve-bench mesh-sweep mesh-sweep-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -93,6 +93,19 @@ serve-bench:
 		--requests 1000 --unique 200 --clients 50 --workers 2 \
 		--out BENCH_serve.json \
 		--assert-warm-hit-rate 0.9 --verify-identity
+
+# CI's mesh-sweep gate: time the flat vs hierarchical placement searches
+# over paper + DAMOV-generated workloads at 6x6/12x12/16x16, write the
+# crossover report, and compare against the committed BENCH_mesh.json
+# baseline (deterministic fields exactly, timings by ratio).
+mesh-sweep-smoke:
+	$(PYTHON) -m repro.experiments.mesh_sweep --smoke --out BENCH_mesh_fresh.json
+	$(PYTHON) -m repro.benchmarks.regression \
+		--mesh-baseline BENCH_mesh.json --mesh-fresh BENCH_mesh_fresh.json
+
+# Refresh the committed mesh-sweep baseline (run on a quiet machine).
+mesh-sweep:
+	$(PYTHON) -m repro.experiments.mesh_sweep --out BENCH_mesh.json
 
 # Fault-injection demo: seeded random plan -> degraded run -> detour heatmap.
 faults-demo:

@@ -1,15 +1,18 @@
 """Architecture package: the manycore machine template and KNL presets.
 
 The paper's template (Section 2): an ``M x N`` mesh, a core + private L1 +
-L2 bank per node, memory controllers at the corners.  KNL specifics
-(Section 6.1): 36 tiles, three cluster modes (all-to-all / quadrant / SNC-4)
-and three memory modes (flat / cache / hybrid with MCDRAM + DDR4).
+L2 bank per node, memory controllers at the corners.  The mesh shape is a
+free parameter — :func:`repro.arch.knl.mesh_machine` builds any
+rectangular ``cols x rows >= 2 x 2`` instance.  KNL specifics
+(Section 6.1): the paper evaluates the 6x6 (36-tile) preset, three
+cluster modes (all-to-all / quadrant / SNC-4) and three memory modes
+(flat / cache / hybrid with MCDRAM + DDR4).
 """
 
 from repro.arch.cluster_modes import ClusterMode
 from repro.arch.memory_modes import MemoryMode, McdramModel
 from repro.arch.machine import Machine, MachineConfig
-from repro.arch.knl import knl_machine, small_machine
+from repro.arch.knl import knl_machine, mesh_machine, small_machine
 
 __all__ = [
     "ClusterMode",
@@ -18,5 +21,6 @@ __all__ = [
     "Machine",
     "MachineConfig",
     "knl_machine",
+    "mesh_machine",
     "small_machine",
 ]

@@ -68,6 +68,13 @@ class Machine:
     def __init__(self, config: MachineConfig = MachineConfig()):
         self.config = config
         self.mesh = Mesh2D(config.mesh_cols, config.mesh_rows)
+        if check.enabled():
+            # Check mode: whatever form distance_fn() took for this mesh
+            # size (eager table or closed form), it must match the
+            # Floyd-Warshall oracle.
+            from repro.check.invariants import check_mesh_distance_fn
+
+            check_mesh_distance_fn(self.mesh)
         self.mapping = AddressMapping.default(
             bank_count=config.l2_bank_count, channel_count=config.mc_channel_count
         )

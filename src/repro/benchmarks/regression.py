@@ -18,6 +18,16 @@ regression — a dropped cache, an accidentally serialized queue — fails
 the job exactly like a compile-path one.  Either comparison (or both)
 may be requested; at least one pair is required.
 
+The mesh sweep is gated with ``--mesh-baseline BENCH_mesh.json
+--mesh-fresh BENCH_mesh_fresh.json [--mesh-tolerance 3.0]``: the
+deterministic fields of every baseline entry (coverage, chunk/alive
+counts, the auto flat-vs-hierarchical decision) must match exactly, the
+hierarchical search's wall time may not exceed ``tolerance x`` its
+baseline, and on meshes where the hierarchical search won on average it
+must keep at least ``baseline_speedup / tolerance`` — so losing the
+crossover entirely (a regressed hierarchical search) fails CI while
+normal runner jitter does not.
+
 The default tolerances are deliberately generous (3x compile, 5x
 serve): shared CI runners have noisy wall clocks, and this gate exists
 to catch order-of-magnitude algorithmic regressions (an accidentally
@@ -39,6 +49,11 @@ DEFAULT_TOLERANCE = 3.0
 #: Service latency/throughput tolerance (serve numbers are noisier than
 #: compile totals: they mix queueing, fork scheduling, and loopback TCP).
 DEFAULT_SERVE_TOLERANCE = 5.0
+
+#: Mesh-sweep entries faster than this are below timer/scheduler noise
+#: (6x6 searches finish in well under a millisecond); the per-entry
+#: hierarchical-time ratio only gates entries slower than the floor.
+MESH_TIME_FLOOR_SECONDS = 0.005
 
 
 def _totals(payload: Dict) -> Dict[str, float]:
@@ -113,6 +128,70 @@ def compare_serve(
     return problems
 
 
+def _mesh_entries(payload: Dict) -> Dict:
+    """(app, mesh) -> entry from one BENCH_mesh.json payload."""
+    return {
+        (entry["app"], entry["mesh"]): entry
+        for entry in payload.get("entries", [])
+    }
+
+
+def compare_mesh(
+    baseline: Dict, fresh: Dict, tolerance: float = DEFAULT_TOLERANCE
+) -> List[str]:
+    """Regression messages (empty = pass) comparing two mesh-sweep payloads.
+
+    Deterministic fields gate exactly; timings gate by ratio.  Per
+    baseline entry: it must be present in the fresh sweep with the same
+    chunk/alive counts and the same auto search decision, and the fresh
+    hierarchical time may not exceed ``tolerance x`` baseline — unless it
+    is under :data:`MESH_TIME_FLOOR_SECONDS`, where ratios are timer
+    noise rather than algorithmic regressions.  Per mesh
+    where the baseline's mean speedup beat flat (the crossover side),
+    the fresh mean speedup must stay above ``baseline / tolerance``.
+    """
+    problems: List[str] = []
+    base_entries = _mesh_entries(baseline)
+    fresh_entries = _mesh_entries(fresh)
+    for (app, mesh), base in sorted(base_entries.items()):
+        new = fresh_entries.get((app, mesh))
+        if new is None:
+            problems.append(f"{app}@{mesh}: present in baseline but not swept")
+            continue
+        for field in ("chunks", "alive", "auto_search"):
+            if base.get(field) != new.get(field):
+                problems.append(
+                    f"{app}@{mesh}: deterministic field {field!r} changed "
+                    f"({base.get(field)!r} -> {new.get(field)!r})"
+                )
+        base_hier = float(base.get("hier_seconds", 0.0))
+        new_hier = float(new.get("hier_seconds", 0.0))
+        if (
+            base_hier > 0
+            and new_hier > MESH_TIME_FLOOR_SECONDS
+            and new_hier > tolerance * base_hier
+        ):
+            problems.append(
+                f"{app}@{mesh}: hierarchical search {new_hier * 1e3:.2f}ms "
+                f"exceeds {tolerance:.1f}x baseline {base_hier * 1e3:.2f}ms"
+            )
+    base_summary = baseline.get("summary", {})
+    fresh_summary = fresh.get("summary", {})
+    for mesh, base_speedup in sorted(base_summary.items()):
+        base_speedup = float(base_speedup)
+        if base_speedup <= 1.0:
+            continue  # flat won at this size; nothing to defend
+        new_speedup = float(fresh_summary.get(mesh, 0.0))
+        floor = base_speedup / tolerance
+        if new_speedup < floor:
+            problems.append(
+                f"mesh {mesh}: mean hierarchical speedup {new_speedup:.2f}x "
+                f"below baseline {base_speedup:.2f}x / {tolerance:.1f} "
+                f"(floor {floor:.2f}x)"
+            )
+    return problems
+
+
 def _load(path: str, role: str) -> Optional[Dict]:
     """Parse one bench JSON; None (with a clear stderr line) on failure."""
     try:
@@ -167,6 +246,22 @@ def _report_serve(baseline: Dict, fresh: Dict) -> None:
         )
 
 
+def _report_mesh(baseline: Dict, fresh: Dict) -> None:
+    """Print the per-mesh mean-speedup comparison and crossover meshes."""
+    base_summary = baseline.get("summary", {})
+    fresh_summary = fresh.get("summary", {})
+    for mesh in sorted(set(base_summary) | set(fresh_summary)):
+        base = base_summary.get(mesh)
+        new = fresh_summary.get(mesh)
+        base_text = "(no baseline)" if base is None else f"{float(base):.2f}x"
+        new_text = "(not swept)" if new is None else f"{float(new):.2f}x"
+        print(f"{'mesh ' + mesh:>12}  mean speedup {base_text} -> {new_text}")
+    print(
+        f"{'crossover':>12}  {baseline.get('crossover_mesh')!r} -> "
+        f"{fresh.get('crossover_mesh')!r}"
+    )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -197,6 +292,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=DEFAULT_SERVE_TOLERANCE,
         help="allowed serve p99/throughput ratio (default %(default)s)",
     )
+    parser.add_argument(
+        "--mesh-baseline",
+        default="",
+        help="committed mesh-sweep baseline JSON (e.g. BENCH_mesh.json)",
+    )
+    parser.add_argument(
+        "--mesh-fresh", default="", help="freshly measured mesh-sweep JSON"
+    )
+    parser.add_argument(
+        "--mesh-tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="allowed mesh-sweep time/speedup ratio (default %(default)s)",
+    )
     args = parser.parse_args(argv)
 
     if bool(args.baseline or args.fresh) and not (args.baseline and args.fresh):
@@ -207,10 +316,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             parser.error("--baseline requires --fresh")
     if bool(args.serve_baseline) != bool(args.serve_fresh):
         parser.error("--serve-baseline and --serve-fresh go together")
-    if not args.fresh and not args.serve_fresh:
+    if bool(args.mesh_baseline) != bool(args.mesh_fresh):
+        parser.error("--mesh-baseline and --mesh-fresh go together")
+    if not args.fresh and not args.serve_fresh and not args.mesh_fresh:
         parser.error(
-            "nothing to compare: pass --baseline/--fresh and/or "
-            "--serve-baseline/--serve-fresh"
+            "nothing to compare: pass --baseline/--fresh, "
+            "--serve-baseline/--serve-fresh, and/or "
+            "--mesh-baseline/--mesh-fresh"
         )
 
     problems: List[str] = []
@@ -228,6 +340,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 2
         _report_serve(serve_baseline, serve_fresh)
         problems += compare_serve(serve_baseline, serve_fresh, args.serve_tolerance)
+    if args.mesh_fresh:
+        mesh_baseline = _load(args.mesh_baseline, "mesh baseline")
+        mesh_fresh = _load(args.mesh_fresh, "mesh fresh")
+        if mesh_baseline is None or mesh_fresh is None:
+            return 2
+        _report_mesh(mesh_baseline, mesh_fresh)
+        problems += compare_mesh(mesh_baseline, mesh_fresh, args.mesh_tolerance)
 
     if problems:
         print("\nbench regression:", file=sys.stderr)

@@ -377,6 +377,56 @@ def check_router_distances(router) -> None:
             check_route_cache_entry(mesh, links, src, dst, router.dead_links)
 
 
+# -- mesh geometry (sparse distances, hierarchical placement) ---------------
+
+def check_mesh_distance_fn(mesh, sample: int = 0) -> None:
+    """``distance_fn()`` agrees with the Floyd-Warshall oracle everywhere.
+
+    The sparse/closed-form callable of a large mesh and the table lookup
+    of a small one must both return the healthy-mesh shortest distance.
+    ``sample > 0`` bounds the audit to the first ``sample`` node ids
+    (big meshes); 0 audits every pair up to the Floyd-Warshall cap.
+    """
+    if sample <= 0 and mesh.node_count > MAX_FLOYD_WARSHALL_NODES:
+        return
+    limit = mesh.node_count if sample <= 0 else min(sample, mesh.node_count)
+    fn = mesh.distance_fn()
+    reference = floyd_warshall(mesh)
+    for src in range(limit):
+        row = reference[src]
+        for dst in range(limit):
+            require(
+                fn(src, dst) == int(row[dst]),
+                f"distance_fn({src}, {dst}) = {fn(src, dst)} but "
+                f"Floyd-Warshall says {int(row[dst])}",
+            )
+
+
+def check_preferences_cover_alive(
+    preferences: Sequence[Sequence[int]], alive: Iterable[int]
+) -> None:
+    """Every chunk preference list is a permutation of the alive nodes.
+
+    The hierarchical search must neither drop, duplicate, nor invent a
+    candidate node — :meth:`DefaultPlacement._assign_chunks`'s load-cap
+    fallback scans the whole list, so a missing node silently shrinks
+    the machine and an offline one resurrects a dead tile.
+    """
+    expected = sorted(alive)
+    expected_set = set(expected)
+    for index, ranked in enumerate(preferences):
+        if sorted(ranked) == expected:
+            continue
+        missing = sorted(expected_set - set(ranked))[:5]
+        extra = sorted(set(ranked) - expected_set)[:5]
+        duplicated = len(ranked) != len(set(ranked))
+        raise CheckError(
+            f"chunk {index} preferences are not a permutation of the alive "
+            f"nodes: missing {missing}, extra {extra}, "
+            f"duplicates={duplicated}"
+        )
+
+
 # -- layout maps vs naive mapper --------------------------------------------
 
 def check_layout_maps(layout, name: str) -> None:

@@ -105,15 +105,35 @@ def experiment_main(run_fn: Callable, argv: Optional[List[str]] = None) -> int:
     return 0
 
 
+#: The paper's evaluation mesh (KNL: 6x6 tiles, 32 active L2 banks).
+PAPER_MESH = (6, 6)
+
+
 def paper_machine(
     cluster_mode: ClusterMode = ClusterMode.QUADRANT,
     memory_mode: MemoryMode = MemoryMode.FLAT,
+    mesh_cols: int = PAPER_MESH[0],
+    mesh_rows: int = PAPER_MESH[1],
 ) -> Machine:
-    """The evaluation machine (KNL template, L1 scaled to the workload size)."""
+    """The evaluation machine (KNL template, L1 scaled to the workload size).
+
+    Defaults to the paper's 6x6/32-bank configuration; passing
+    ``mesh_cols``/``mesh_rows`` scales the same template to any
+    rectangular mesh (bank count snapping to the largest power of two
+    that fits — see :func:`repro.arch.knl.mesh_machine`), which is what
+    the mesh-sweep experiment runs.
+    """
+    if (mesh_cols, mesh_rows) != PAPER_MESH:
+        from repro.arch.knl import mesh_machine
+
+        return mesh_machine(
+            mesh_cols, mesh_rows,
+            cluster_mode=cluster_mode, memory_mode=memory_mode,
+        )
     return Machine(
         MachineConfig(
-            mesh_cols=6,
-            mesh_rows=6,
+            mesh_cols=mesh_cols,
+            mesh_rows=mesh_rows,
             l2_bank_count=32,
             l1_capacity=8 * 1024,
             l1_associativity=8,
@@ -431,7 +451,8 @@ def prewarm(
             seed,
             True,
             _CACHE[
-                (app, scale, seed, ClusterMode.QUADRANT, MemoryMode.FLAT, None)
+                (app, scale, seed, ClusterMode.QUADRANT, MemoryMode.FLAT,
+                 None, "trace")
             ].partition.split_plan,
         )
         for app in apps

@@ -1,0 +1,305 @@
+"""Mesh sweep: flat vs hierarchical placement search across mesh sizes.
+
+Runs paper workloads plus DAMOV-style generated workloads (classified by
+compute-vs-movement intensity, :mod:`repro.workloads.damov`) on meshes
+from the paper's 6x6 up through 16x16, timing the default placement's two
+preference searches (DESIGN.md section 14) on identical residency
+profiles.  The report answers the scaling question the tentpole poses:
+*where is the crossover* — the smallest mesh on which the hierarchical
+quadrant-decomposed search beats the historical flat sort — and by how
+much the gap widens at 16x16.
+
+``python -m repro.experiments.mesh_sweep --out BENCH_mesh.json`` writes
+the machine-readable report consumed by the bench-regression comparator
+(``repro.benchmarks.regression --mesh-baseline/--mesh-fresh``); CI runs
+the ``--smoke`` variant (single timing repetition, same coverage) via
+``make mesh-sweep-smoke``.
+
+Timings are wall-clock and environment-dependent; everything else in the
+report (chunk counts, alive nodes, auto-search decisions, workload set)
+is deterministic, and the regression comparator gates on the stable
+fields plus a generous speedup-ratio tolerance.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.baselines.default_placement import DefaultPlacement
+from repro.errors import ConfigurationError, WorkloadError
+from repro.experiments.common import (
+    experiment,
+    format_table,
+    paper_machine,
+)
+from repro.ir.program import Program
+from repro.workloads import build_workload
+from repro.workloads.damov import damov_suite
+
+#: Mesh sizes swept by default: the paper's evaluation mesh, the first
+#: size past the hierarchical threshold, and the 16x16 scaling target.
+DEFAULT_MESHES: Tuple[Tuple[int, int], ...] = ((6, 6), (12, 12), (16, 16))
+
+#: Paper workloads included in the sweep (one high-movement, one
+#: dense-regular, one neighbor-list kernel); the DAMOV suite contributes
+#: the classified synthetic side.
+DEFAULT_SWEEP_APPS: Tuple[str, ...] = ("barnes", "fft", "minimd")
+
+#: Generated workloads per sweep (two per DAMOV class).
+DEFAULT_GENERATED_COUNT = 6
+
+#: BENCH_mesh.json schema version.
+MESH_BENCH_SCHEMA = 1
+
+
+@dataclass
+class MeshSweepEntry:
+    """One (workload, mesh) measurement."""
+
+    app: str
+    source: str  # "paper" or "damov"
+    damov_class: str  # "" for paper workloads
+    cols: int
+    rows: int
+    chunks: int
+    alive: int
+    auto_search: str
+    flat_seconds: float
+    hier_seconds: float
+
+    @property
+    def mesh(self) -> str:
+        return f"{self.cols}x{self.rows}"
+
+    @property
+    def speedup(self) -> float:
+        return self.flat_seconds / self.hier_seconds if self.hier_seconds else 0.0
+
+    def to_json(self) -> Dict:
+        return {
+            "app": self.app,
+            "source": self.source,
+            "damov_class": self.damov_class,
+            "mesh": self.mesh,
+            "cols": self.cols,
+            "rows": self.rows,
+            "chunks": self.chunks,
+            "alive": self.alive,
+            "auto_search": self.auto_search,
+            "flat_seconds": round(self.flat_seconds, 6),
+            "hier_seconds": round(self.hier_seconds, 6),
+            "speedup": round(self.speedup, 3),
+        }
+
+
+@dataclass
+class MeshSweepResult:
+    """The full sweep: entries plus the derived crossover summary."""
+
+    meshes: List[Tuple[int, int]]
+    entries: List[MeshSweepEntry] = field(default_factory=list)
+
+    def mean_speedup(self, cols: int, rows: int) -> float:
+        values = [
+            e.speedup for e in self.entries if (e.cols, e.rows) == (cols, rows)
+        ]
+        return sum(values) / len(values) if values else 0.0
+
+    def crossover_mesh(self) -> Optional[str]:
+        """Smallest swept mesh where hierarchical beats flat on average."""
+        for cols, rows in sorted(self.meshes, key=lambda m: m[0] * m[1]):
+            if self.mean_speedup(cols, rows) > 1.0:
+                return f"{cols}x{rows}"
+        return None
+
+    def to_json(self) -> Dict:
+        return {
+            "schema_version": MESH_BENCH_SCHEMA,
+            "meshes": [f"{c}x{r}" for c, r in self.meshes],
+            "workloads": sorted({e.app for e in self.entries}),
+            "entries": [e.to_json() for e in self.entries],
+            "summary": {
+                f"{c}x{r}": round(self.mean_speedup(c, r), 3)
+                for c, r in self.meshes
+            },
+            "crossover_mesh": self.crossover_mesh(),
+        }
+
+    def write_json(self, path: str) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_json(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    def report(self) -> str:
+        rows = [
+            [
+                e.app,
+                e.mesh,
+                e.auto_search,
+                f"{e.flat_seconds * 1e3:.2f}ms",
+                f"{e.hier_seconds * 1e3:.2f}ms",
+                f"{e.speedup:.2f}x",
+            ]
+            for e in self.entries
+        ]
+        crossover = self.crossover_mesh() or "none in swept range"
+        summary = ", ".join(
+            f"{c}x{r}: {self.mean_speedup(c, r):.2f}x" for c, r in self.meshes
+        )
+        return (
+            "Mesh sweep: flat vs hierarchical placement search\n"
+            + format_table(
+                ["app", "mesh", "auto", "flat", "hier", "speedup"], rows
+            )
+            + f"\nmean speedup by mesh: {summary}"
+            + f"\ncrossover (hierarchical wins on average): {crossover}"
+        )
+
+
+def _time_search(
+    placement: DefaultPlacement,
+    counts,
+    alive,
+    search: str,
+    repeat: int,
+) -> float:
+    # Untimed warmup: pays one-time costs (the hierarchical region tree,
+    # allocator warm-up) outside the measurement, so single-repetition
+    # smoke runs measure the steady-state search like repeated runs do.
+    placement.rank_preferences(counts, alive, search=search)
+    best = None
+    for _ in range(max(repeat, 1)):
+        started = time.perf_counter()
+        placement.rank_preferences(counts, alive, search=search)
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    return best
+
+
+def _sweep_one(
+    app: str,
+    source: str,
+    damov_class: str,
+    program: Program,
+    cols: int,
+    rows: int,
+    repeat: int,
+) -> MeshSweepEntry:
+    machine = paper_machine(mesh_cols=cols, mesh_rows=rows)
+    program.declare_on(machine)
+    placement = DefaultPlacement(machine)
+    nest = program.nests[0]
+    counts, alive = placement.chunk_home_counts(program, nest)
+    flat_seconds = _time_search(placement, counts, alive, "flat", repeat)
+    hier_seconds = _time_search(placement, counts, alive, "hierarchical", repeat)
+    return MeshSweepEntry(
+        app=app,
+        source=source,
+        damov_class=damov_class,
+        cols=cols,
+        rows=rows,
+        chunks=len(counts),
+        alive=len(alive),
+        auto_search=(
+            "hierarchical" if placement.uses_hierarchical(len(alive)) else "flat"
+        ),
+        flat_seconds=flat_seconds,
+        hier_seconds=hier_seconds,
+    )
+
+
+@experiment("Mesh sweep", 90)
+def run(
+    apps: Sequence[str] = DEFAULT_SWEEP_APPS,
+    scale: int = 1,
+    seed: int = 0,
+    meshes: Sequence[Tuple[int, int]] = DEFAULT_MESHES,
+    generated: int = DEFAULT_GENERATED_COUNT,
+    repeat: int = 3,
+) -> MeshSweepResult:
+    """Sweep ``apps`` + ``generated`` DAMOV workloads over ``meshes``."""
+    workloads: List[Tuple[str, str, str, Program]] = [
+        (app, "paper", "", build_workload(app, scale, seed)) for app in apps
+    ]
+    for generated_workload in damov_suite(generated, scale, seed) if generated else []:
+        workloads.append(
+            (
+                generated_workload.name,
+                "damov",
+                generated_workload.damov_class,
+                generated_workload.program,
+            )
+        )
+    result = MeshSweepResult(meshes=[tuple(m) for m in meshes])
+    for cols, rows in result.meshes:
+        for app, source, damov_class, program in workloads:
+            result.entries.append(
+                _sweep_one(app, source, damov_class, program, cols, rows, repeat)
+            )
+    return result
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Mesh sweep: flat vs hierarchical placement search."
+    )
+    parser.add_argument(
+        "--apps",
+        default=",".join(DEFAULT_SWEEP_APPS),
+        help="comma-separated paper workloads to include",
+    )
+    parser.add_argument(
+        "--meshes",
+        default=",".join(f"{c}x{r}" for c, r in DEFAULT_MESHES),
+        help="comma-separated mesh sizes, e.g. 6x6,12x12,16x16",
+    )
+    parser.add_argument("--generated", type=int, default=DEFAULT_GENERATED_COUNT)
+    parser.add_argument("--scale", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--repeat", type=int, default=3, help="timing repetitions (min taken)"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="single timing repetition (full coverage, CI-friendly runtime)",
+    )
+    parser.add_argument(
+        "--out", default="", metavar="FILE", help="write BENCH_mesh.json to FILE"
+    )
+    args = parser.parse_args(argv)
+    try:
+        meshes = []
+        for spec in args.meshes.split(","):
+            cols_text, _, rows_text = spec.strip().partition("x")
+            meshes.append((int(cols_text), int(rows_text)))
+    except ValueError:
+        print(f"error: bad --meshes value {args.meshes!r}")
+        return 2
+    apps = [app.strip() for app in args.apps.split(",") if app.strip()]
+    try:
+        result = run(
+            apps=apps,
+            scale=args.scale,
+            seed=args.seed,
+            meshes=meshes,
+            generated=args.generated,
+            repeat=1 if args.smoke else args.repeat,
+        )
+    except (WorkloadError, ConfigurationError) as exc:
+        print(f"error: {exc}")
+        return 2
+    print(result.report())
+    if args.out:
+        result.write_json(args.out)
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

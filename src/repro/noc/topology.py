@@ -17,9 +17,18 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 
-#: Meshes up to this many nodes get a precomputed all-pairs distance table;
-#: larger ones (only reachable through unusual configs) fall back to
-#: computing coordinates on the fly, keeping memory bounded.
+#: Meshes up to this many nodes eagerly precompute the all-pairs distance
+#: table at construction (covers the paper's 6x6 and every test mesh, where
+#: the nested-list lookup wins on the scalar hot path).  Larger meshes
+#: answer queries on demand: closed-form arithmetic per pair plus memoized
+#: per-source rows, so a 16x16 (or 100x100) mesh never materializes an
+#: O(nodes^2) table just to be constructed.
+_EAGER_DISTANCE_NODES = 64
+
+#: Hard cap for *explicitly requested* dense tables (:attr:`distance_table`
+#: / :meth:`distance_rows` force one).  Above this the dense form is
+#: refused — callers hold the sparse interface (:meth:`distance_fn`,
+#: :meth:`distance_row`) instead, keeping memory bounded by design.
 _DISTANCE_TABLE_MAX_NODES = 4096
 
 
@@ -53,7 +62,8 @@ class Mesh2D:
         self.node_count = cols * rows
         self._distance_np: Optional[np.ndarray] = None
         self._distance_rows: Optional[List[List[int]]] = None
-        if self.node_count <= _DISTANCE_TABLE_MAX_NODES:
+        self._row_cache: dict = {}
+        if self.node_count <= _EAGER_DISTANCE_NODES:
             self._build_distance_table()
 
     def _build_distance_table(self) -> None:
@@ -68,8 +78,21 @@ class Mesh2D:
 
     @property
     def distance_table(self) -> np.ndarray:
-        """All-pairs Manhattan distances, ``table[a, b]`` (node-id indexed)."""
+        """All-pairs Manhattan distances, ``table[a, b]`` (node-id indexed).
+
+        Dense and O(nodes^2): available on demand up to
+        :data:`_DISTANCE_TABLE_MAX_NODES` nodes (differential oracles and
+        tests want the whole matrix); beyond that it refuses — large-mesh
+        callers use the sparse interface (:meth:`distance_fn`,
+        :meth:`distance_row`) instead.
+        """
         if self._distance_np is None:
+            if self.node_count > _DISTANCE_TABLE_MAX_NODES:
+                raise ConfigurationError(
+                    f"dense distance table refused for {self.cols}x{self.rows} "
+                    f"({self.node_count} nodes > cap {_DISTANCE_TABLE_MAX_NODES}); "
+                    "use distance_fn()/distance_row() instead"
+                )
             self._build_distance_table()
         return self._distance_np
 
@@ -77,18 +100,50 @@ class Mesh2D:
         """Nested-list all-pairs distances (``rows[a][b]``), or ``None``.
 
         Hot compiler/simulator loops index this directly — a plain list
-        lookup beats a bounds-checked method call.  ``None`` only for
-        meshes above the table cap; callers keep :meth:`distance` as the
-        fallback there.
+        lookup beats a bounds-checked method call.  ``None`` for meshes
+        above the eager threshold (they never materialized the table);
+        callers keep :meth:`distance` / :meth:`distance_fn` there.
         """
         return self._distance_rows
 
     def distance_fn(self) -> Callable[[int, int], int]:
-        """Fastest available ``(a, b) -> hops`` callable for valid node ids."""
+        """Fastest available ``(a, b) -> hops`` callable for valid node ids.
+
+        Small meshes return a nested-list table lookup (bit-identical to
+        the historical eager-table behaviour); large meshes return a
+        closed-form callable — O(1) arithmetic per query, no O(nodes^2)
+        state.  Both compute the same pure Manhattan values.
+        """
         rows = self._distance_rows
-        if rows is None:
-            return self.distance
-        return lambda a, b: rows[a][b]
+        if rows is not None:
+            return lambda a, b: rows[a][b]
+        cols = self.cols
+
+        def manhattan(a: int, b: int) -> int:
+            ay, ax = divmod(a, cols)
+            by, bx = divmod(b, cols)
+            return abs(ax - bx) + abs(ay - by)
+
+        return manhattan
+
+    def distance_row(self, node_id: int) -> np.ndarray:
+        """Distances from ``node_id`` to every node (memoized per source).
+
+        The sparse/on-demand complement of :attr:`distance_table` for
+        vectorized consumers on large meshes: each requested source costs
+        O(nodes) once and is cached, so touching ``k`` sources stores
+        ``k * nodes`` entries instead of ``nodes^2``.
+        """
+        cached = self._row_cache.get(node_id)
+        if cached is not None:
+            return cached
+        self._check_id(node_id)
+        ids = np.arange(self.node_count)
+        row = np.abs(ids % self.cols - node_id % self.cols) + np.abs(
+            ids // self.cols - node_id // self.cols
+        )
+        self._row_cache[node_id] = row
+        return row
 
     def coord_of(self, node_id: int) -> Coord:
         """Coordinate of ``node_id`` (row-major)."""

@@ -15,6 +15,8 @@ Schema (version 3)::
       "kind": "repro.report",
       "app": "ocean", "scale": 1, "seed": 0,
       "machine": {
+        # example values: the paper's 6x6 mesh; any cols/rows >= 2 are
+        # valid (repro.arch.knl.mesh_machine) and node_count = cols*rows
         "mesh_cols": 6, "mesh_rows": 6, "node_count": 36,
         "l1_capacity": 8192, "l2_bank_count": 32,
         "cluster_mode": "quadrant", "memory_mode": "flat"

@@ -40,11 +40,22 @@ ARTIFACT_KIND = "repro.serve.artifact"
 
 
 def machine_for(request: CompileRequest) -> Machine:
-    """A fresh machine for the request's preset ('small' or 'paper')."""
+    """A fresh machine for the request's preset.
+
+    ``'small'``, ``'paper'``, or the parameterized ``mesh:<cols>x<rows>``
+    form (the KNL template scaled to that mesh).
+    """
     if request.machine == "small":
         from repro.arch.knl import small_machine
 
         return small_machine()
+    from repro.serve.request import parse_mesh_preset
+
+    mesh = parse_mesh_preset(request.machine)
+    if mesh is not None:
+        from repro.arch.knl import mesh_machine
+
+        return mesh_machine(*mesh)
     from repro.experiments.common import paper_machine
 
     return paper_machine()

@@ -37,8 +37,39 @@ from repro.faults import FaultPlan
 #: right — old artifacts answered a differently-shaped question).
 REQUEST_VERSION = 1
 
-#: Machine presets a request may name (resolved by repro.serve.compiler).
+#: Fixed machine presets a request may name (resolved by
+#: repro.serve.compiler).  Requests may also name a parameterized mesh
+#: preset ``mesh:<cols>x<rows>`` (e.g. ``mesh:8x8``) — the KNL template
+#: scaled to that mesh via :func:`repro.arch.knl.mesh_machine`.  The
+#: preset string is part of the canonical form, so a 6x6 and an 8x8
+#: compile of the same program never share a fingerprint.
 MACHINE_PRESETS = ("small", "paper")
+
+#: Prefix of the parameterized mesh preset.
+MESH_PRESET_PREFIX = "mesh:"
+
+
+def parse_mesh_preset(machine: str) -> Optional[Tuple[int, int]]:
+    """``(cols, rows)`` for a ``mesh:<cols>x<rows>`` preset, else ``None``.
+
+    Raises :class:`ServeError` for a malformed mesh preset (right prefix,
+    bad dimensions) so typos fail loudly instead of falling through to
+    the unknown-preset error.
+    """
+    if not machine.startswith(MESH_PRESET_PREFIX):
+        return None
+    spec = machine[len(MESH_PRESET_PREFIX):]
+    cols_text, sep, rows_text = spec.partition("x")
+    try:
+        cols, rows = int(cols_text), int(rows_text)
+    except ValueError:
+        cols = rows = 0
+    if not sep or cols < 2 or rows < 2:
+        raise ServeError(
+            f"bad mesh preset {machine!r}: expected "
+            f"'{MESH_PRESET_PREFIX}<cols>x<rows>' with cols, rows >= 2"
+        )
+    return cols, rows
 
 #: Predictor choices (mirrors the CLI's ``--predictor`` flag).
 PREDICTORS = ("trace", "analytic")
@@ -189,10 +220,12 @@ class CompileRequest:
             raise ServeError("request field 'scale' must be >= 1")
 
         machine = data.get("machine", cls._default_machine(app))
-        if machine not in MACHINE_PRESETS:
+        _require_type(machine, str, "request field 'machine'")
+        if machine not in MACHINE_PRESETS and parse_mesh_preset(machine) is None:
             raise ServeError(
-                f"unknown machine preset {machine!r} "
-                f"(known: {', '.join(MACHINE_PRESETS)})"
+                f"unknown machine preset {machine!r} (known: "
+                f"{', '.join(MACHINE_PRESETS)}, "
+                f"{MESH_PRESET_PREFIX}<cols>x<rows>)"
             )
         predictor = data.get("predictor", "trace")
         if predictor not in PREDICTORS:

@@ -168,3 +168,39 @@ class TestDeterminism:
         artifact = json.loads(compile_bytes(request))
         assert artifact["fingerprint"] == request.fingerprint()
         assert artifact["request"] == request.canonical()
+
+
+class TestMeshPresets:
+    """Parameterized mesh presets split the cache key by mesh dimensions."""
+
+    def test_mesh_dims_change_fingerprint(self):
+        # The planted collision: same program, 6x6 vs 8x8 mesh — a shared
+        # key would serve one mesh's artifact for the other's request.
+        assert fp({**TINY, "machine": "mesh:6x6"}) != fp(
+            {**TINY, "machine": "mesh:8x8"}
+        )
+
+    def test_mesh_preset_distinct_from_fixed_presets(self):
+        keys = {
+            fp({**TINY, "machine": "paper"}),
+            fp({**TINY, "machine": "small"}),
+            fp({**TINY, "machine": "mesh:6x6"}),
+            fp({**TINY, "machine": "mesh:4x4"}),
+        }
+        assert len(keys) == 4
+
+    def test_rectangular_orientation_keyed(self):
+        assert fp({**TINY, "machine": "mesh:4x8"}) != fp(
+            {**TINY, "machine": "mesh:8x4"}
+        )
+
+    def test_malformed_mesh_presets_rejected(self):
+        for bad in ("mesh:", "mesh:8", "mesh:axb", "mesh:1x8", "mesh:8x1"):
+            with pytest.raises(ServeError, match="mesh preset"):
+                CompileRequest.from_json({**TINY, "machine": bad})
+
+    def test_mesh_preset_compiles(self):
+        request = CompileRequest.from_json({**TINY, "machine": "mesh:8x8"})
+        artifact = json.loads(compile_bytes(request))
+        assert artifact["request"]["machine"] == "mesh:8x8"
+        assert artifact["fingerprint"] == request.fingerprint()
