@@ -6,11 +6,12 @@ JOBS ?= 1
 BENCH_OUT ?= BENCH_compile.json
 APP ?= ocean
 REPORT_OUT ?= report.json
-COV_MIN ?= 78
+COV_MIN ?= 80
+SERVE_OUT_DIR ?= out/serve
 
 .PHONY: test lint cov check bench bench-smoke bench-regression quick report \
 	report-smoke faults-demo docs-check examples-smoke serve-smoke \
-	serve-bench mesh-sweep mesh-sweep-smoke
+	serve-bench mesh-sweep mesh-sweep-smoke runtime-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -76,22 +77,45 @@ examples-smoke:
 # CI's serve-smoke gate: spawn a daemon, drive 1000 requests (200 unique
 # cold + 800 warm repeats) through 50 concurrent clients, then assert a
 # >= 90% warm cache hit rate, byte-identity between a cached artifact and
-# a fresh in-process compile, and a clean SIGTERM drain.  Writes
-# BENCH_serve_fresh.json + serve_trace.jsonl and compares against the
-# committed BENCH_serve.json baseline.
+# a fresh in-process compile, and a clean SIGTERM drain.  All outputs
+# (BENCH_serve_fresh.json, serve_trace.jsonl, the scratch cache) land
+# under $(SERVE_OUT_DIR) — never the repo root — then the fresh numbers
+# are compared against the committed BENCH_serve.json baseline.
 serve-smoke:
 	$(PYTHON) -m repro.serve.loadgen --spawn \
 		--requests 1000 --unique 200 --clients 50 --workers 2 \
+		--out-dir $(SERVE_OUT_DIR) \
 		--trace serve_trace.jsonl --out BENCH_serve_fresh.json \
 		--assert-warm-hit-rate 0.9 --verify-identity
 	$(PYTHON) -m repro.benchmarks.regression \
-		--serve-baseline BENCH_serve.json --serve-fresh BENCH_serve_fresh.json
+		--serve-baseline BENCH_serve.json \
+		--serve-fresh $(SERVE_OUT_DIR)/BENCH_serve_fresh.json
 
-# Refresh the committed serve baseline (run on a quiet machine).
+# CI's runtime-smoke gate: compile tiny + minimd and *execute* them on
+# the task-runtime backend (one worker: deterministic dispatch), then
+# gate on the runtime-execution contract — zero sync-order violations
+# and movement agreement within MOVEMENT_AGREEMENT_TOLERANCE of the
+# simulator's forecast (tools/check_runtime_gate.py).
+runtime-smoke:
+	mkdir -p out/runtime
+	$(PYTHON) -m repro.cli report tiny --backend runtime --backend-workers 1 \
+		--out out/runtime/report_tiny_runtime.json --no-heatmap
+	$(PYTHON) -m repro.obs.schema out/runtime/report_tiny_runtime.json
+	$(PYTHON) -m repro.cli report minimd --backend runtime --backend-workers 1 \
+		--out out/runtime/report_minimd_runtime.json --no-heatmap
+	$(PYTHON) -m repro.obs.schema out/runtime/report_minimd_runtime.json
+	$(PYTHON) tools/check_runtime_gate.py \
+		out/runtime/report_tiny_runtime.json \
+		out/runtime/report_minimd_runtime.json
+
+# Refresh the committed serve baseline (run on a quiet machine).  The
+# baseline itself is committed, so it stays at the repo root; the
+# scratch cache still routes under $(SERVE_OUT_DIR).
 serve-bench:
 	$(PYTHON) -m repro.serve.loadgen --spawn \
 		--requests 1000 --unique 200 --clients 50 --workers 2 \
-		--out BENCH_serve.json \
+		--out-dir $(SERVE_OUT_DIR) \
+		--out $(CURDIR)/BENCH_serve.json \
 		--assert-warm-hit-rate 0.9 --verify-identity
 
 # CI's mesh-sweep gate: time the flat vs hierarchical placement searches

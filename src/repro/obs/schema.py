@@ -8,10 +8,10 @@ regression dashboards, the golden-file tests) may rely on, and
 dependencies.  Bump :data:`REPORT_SCHEMA_VERSION` on any breaking change
 and keep the old fields readable for one version.
 
-Schema (version 3)::
+Schema (version 4)::
 
     {
-      "schema_version": 3,
+      "schema_version": 4,
       "kind": "repro.report",
       "app": "ocean", "scale": 1, "seed": 0,
       "machine": {
@@ -55,6 +55,16 @@ Schema (version 3)::
         "faults_fingerprint": null,    # or the plan's fingerprint string
         "check": false
       },
+      "execution": {                   # v4: which backend executed the run
+        "backend": "sim"               # the default; nothing else to say —
+                                       # default/optimized ARE its numbers
+        # runtime backend adds its scheduler observations:
+        # "workers": 1, "seed": 0, "tasks_executed": 7680,
+        # "observed_movement": 44787,  # flit-hops the runtime itself charged
+        # "forecast_movement": 44787,  # the simulator's DataMovement
+        # "agreement": 0.0,            # |observed-forecast|/forecast
+        # "sync_count": 2485, "sync_violations": 0, "wall_seconds": 0.41
+      },
       "trace_file": "/tmp/t.jsonl",    # or null
       "faults": null                   # healthy run; object on degraded runs:
       # {
@@ -88,8 +98,10 @@ Invariants (checked by :func:`validate_report` beyond field types):
 
 Version history: v1 had no ``faults`` field; v2 added it; v3 added the
 ``pipeline`` section (pass order, skipped passes, per-pass wall times,
-session identity).  v1 and v2 documents still validate — each section is
-required only from the version that introduced it.
+session identity); v4 added the ``execution`` section (which backend
+executed the run, and the runtime backend's observed-vs-forecast
+movement agreement).  v1 through v3 documents still validate — each
+section is required only from the version that introduced it.
 
 Validate from the command line (exit code 0 = valid)::
 
@@ -102,12 +114,15 @@ import json
 import sys
 from typing import Any, Dict, List
 
-REPORT_SCHEMA_VERSION = 3
+REPORT_SCHEMA_VERSION = 4
 REPORT_KIND = "repro.report"
 
 #: schema versions validate_report still accepts
-#: (v1 = pre-faults, v2 = pre-pipeline).
-SUPPORTED_SCHEMA_VERSIONS = (1, 2, 3)
+#: (v1 = pre-faults, v2 = pre-pipeline, v3 = pre-execution).
+SUPPORTED_SCHEMA_VERSIONS = (1, 2, 3, 4)
+
+#: backend names an ``execution`` section may carry.
+EXECUTION_BACKENDS = ("sim", "runtime")
 
 #: field name -> required python type(s), for the flat top-level checks.
 _TOP_LEVEL: Dict[str, Any] = {
@@ -190,6 +205,17 @@ _PIPELINE_FIELDS: Dict[str, Any] = {
     "pass_seconds": dict,
     "machine": dict,
     "config": dict,
+}
+
+#: required fields of the ``execution`` section (v4+) when the backend
+#: is the task runtime; a sim execution carries only the backend name.
+_RUNTIME_EXECUTION_FIELDS: Dict[str, Any] = {
+    "workers": int,
+    "tasks_executed": int,
+    "observed_movement": int,
+    "forecast_movement": int,
+    "sync_count": int,
+    "sync_violations": int,
 }
 
 
@@ -275,6 +301,54 @@ def validate_report(report: Any) -> List[str]:
             errors.append("report: missing field 'pipeline' (required from v3)")
         else:
             errors.extend(_validate_pipeline(report["pipeline"]))
+
+    if report.get("schema_version") not in (1, 2, 3):
+        if "execution" not in report:
+            errors.append(
+                "report: missing field 'execution' (required from v4)"
+            )
+        else:
+            errors.extend(_validate_execution(report["execution"]))
+    return errors
+
+
+def _validate_execution(execution: Any) -> List[str]:
+    """Structural checks of the v4 ``execution`` section."""
+    errors: List[str] = []
+    if not isinstance(execution, dict):
+        return ["execution: expected an object"]
+    backend = execution.get("backend")
+    if backend not in EXECUTION_BACKENDS:
+        errors.append(
+            f"execution.backend: expected one of {EXECUTION_BACKENDS}, "
+            f"got {backend!r}"
+        )
+        return errors
+    if backend == "sim":
+        # The sim execution *is* the default/optimized metrics; the
+        # section only records that the default path produced them.
+        return errors
+    _check_fields(execution, _RUNTIME_EXECUTION_FIELDS, "execution", errors)
+    if errors:
+        return errors
+    seed = execution.get("seed")
+    if seed is not None and not isinstance(seed, int):
+        errors.append("execution.seed: expected an int or null")
+    for name in ("agreement", "wall_seconds"):
+        if name in execution and not isinstance(
+            execution[name], (int, float)
+        ):
+            errors.append(f"execution.{name}: expected a number")
+    forecast = execution["forecast_movement"]
+    observed = execution["observed_movement"]
+    agreement = execution.get("agreement")
+    if isinstance(agreement, (int, float)) and forecast > 0:
+        expected = abs(observed - forecast) / forecast
+        if abs(agreement - expected) > 1e-6:
+            errors.append(
+                f"execution.agreement {agreement} inconsistent with "
+                f"movement operands ({observed} vs {forecast})"
+            )
     return errors
 
 

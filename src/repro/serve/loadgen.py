@@ -27,12 +27,18 @@ Two ways to point it at a daemon::
 a gate: the warm pass must hit the cache at the given rate, and a cached
 response must be **byte-identical** to an in-process compile of the
 same request (`make serve-smoke`'s acceptance check).
+
+``--out-dir DIR`` keeps the working tree clean: every *relative* output
+path (``--out``, ``--trace``, ``--cache-dir``) is routed under ``DIR``
+(created on demand) instead of landing in the repo root; absolute paths
+are honored as given.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import signal
 import subprocess
 import sys
@@ -323,6 +329,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="daemon trace file (spawn mode)")
     parser.add_argument("--out", default="BENCH_serve.json")
     parser.add_argument(
+        "--out-dir", default="", metavar="DIR",
+        help="route relative --out/--trace/--cache-dir paths under DIR "
+        "(created on demand) instead of the current directory",
+    )
+    parser.add_argument(
         "--assert-warm-hit-rate", type=float, default=None, metavar="RATE",
         help="fail unless the warm pass hit rate is >= RATE (e.g. 0.9)",
     )
@@ -332,6 +343,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         "fresh in-process compile",
     )
     args = parser.parse_args(argv)
+
+    if args.out_dir:
+        os.makedirs(args.out_dir, exist_ok=True)
+        for name in ("out", "trace", "cache_dir"):
+            value = getattr(args, name)
+            if value and not os.path.isabs(value):
+                setattr(args, name, os.path.join(args.out_dir, value))
 
     process = None
     try:

@@ -25,8 +25,11 @@ from repro.sim.engine import SimConfig, Simulator
 from repro.workloads.damov import DAMOV_CLASSES, classify_program, damov_suite
 
 #: Volatile report fields scrubbed before hashing (timings, file paths,
-#: and the pipeline section, which carries per-pass wall-clock seconds).
-VOLATILE = ("schema_version", "phase_seconds", "trace_file", "pipeline")
+#: the pipeline section — per-pass wall-clock seconds — and the fields
+#: later schema versions added on top of the seed revision's reports).
+VOLATILE = (
+    "schema_version", "phase_seconds", "trace_file", "pipeline", "execution",
+)
 
 #: sha256 of the scrubbed 6x6 reports, captured on the seed revision
 #: (before the sparse-geometry/hierarchical-placement changes).

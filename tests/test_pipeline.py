@@ -41,8 +41,10 @@ from repro.pipeline.passes import resolve_order
 GOLDEN = pathlib.Path(__file__).parent / "golden" / "report_tiny.json"
 
 #: report.json fields that legitimately differ across builds: wall times,
-#: the trace path, and fields the schema-v3 pipeline refactor added.
-VOLATILE_REPORT_FIELDS = ("schema_version", "phase_seconds", "trace_file", "pipeline")
+#: the trace path, and fields the schema-v3/v4 refactors added.
+VOLATILE_REPORT_FIELDS = (
+    "schema_version", "phase_seconds", "trace_file", "pipeline", "execution",
+)
 
 
 def split_program(name: str = "p") -> Program:

@@ -103,3 +103,27 @@ class TestMain:
             "--assert-warm-hit-rate", "0.9",
         ])
         assert rc == 1
+
+    def test_out_dir_routes_relative_outputs(self, daemon, tmp_path):
+        out_dir = tmp_path / "out" / "serve"
+        rc = main([
+            "--url", daemon.url,
+            "--requests", "4", "--unique", "2", "--clients", "1",
+            "--out-dir", str(out_dir),
+            "--out", "BENCH_serve_fresh.json",
+        ])
+        assert rc == 0
+        # The relative --out landed under --out-dir, not the cwd.
+        payload = json.loads((out_dir / "BENCH_serve_fresh.json").read_text())
+        assert payload["total_requests"] == 4
+
+    def test_out_dir_keeps_absolute_paths(self, daemon, tmp_path):
+        target = tmp_path / "explicit.json"
+        rc = main([
+            "--url", daemon.url,
+            "--requests", "2", "--unique", "1", "--clients", "1",
+            "--out-dir", str(tmp_path / "ignored"),
+            "--out", str(target),
+        ])
+        assert rc == 0
+        assert target.exists()

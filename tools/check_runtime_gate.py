@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Gate a ``--backend runtime`` report on the runtime-execution contract.
+
+CI's ``runtime-smoke`` job compiles apps with ``repro.cli report
+--backend runtime`` and then runs this script over the resulting report
+files.  For each report it asserts the two acceptance criteria of the
+task-runtime backend (DESIGN.md section 15):
+
+* **sync-order validity** — zero recorded sync violations: no task
+  consumed a cross-node value before its producer's synchronization
+  completed;
+* **movement agreement** — the runtime-observed data movement is within
+  ``MOVEMENT_AGREEMENT_TOLERANCE`` of the simulator's forecast.
+
+Exit code 0 when every report passes, 1 with one line per failure
+otherwise.  Stdlib + repro only (the tolerance constant is imported so
+this gate can never drift from the backend's documented contract).
+
+Usage::
+
+    python tools/check_runtime_gate.py REPORT.json [REPORT.json ...]
+"""
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.exec.runtime import MOVEMENT_AGREEMENT_TOLERANCE  # noqa: E402
+
+
+def check_report(path):
+    """Failure strings for one report file (empty list = pass)."""
+    with open(path) as fh:
+        report = json.load(fh)
+    execution = report.get("execution")
+    if not isinstance(execution, dict):
+        return [f"{path}: no execution section (was --backend runtime used?)"]
+    if execution.get("backend") != "runtime":
+        return [f"{path}: execution backend is {execution.get('backend')!r}"]
+    failures = []
+    violations = execution.get("sync_violations")
+    if violations != 0:
+        failures.append(f"{path}: {violations} sync-order violation(s)")
+    agreement = execution.get("agreement")
+    if not isinstance(agreement, (int, float)):
+        failures.append(f"{path}: missing movement agreement")
+    elif agreement > MOVEMENT_AGREEMENT_TOLERANCE:
+        failures.append(
+            f"{path}: movement agreement {agreement:.4f} exceeds "
+            f"tolerance {MOVEMENT_AGREEMENT_TOLERANCE} (observed "
+            f"{execution.get('observed_movement')}, forecast "
+            f"{execution.get('forecast_movement')})"
+        )
+    return failures
+
+
+def main(argv):
+    if not argv:
+        print("usage: check_runtime_gate.py REPORT.json ...", file=sys.stderr)
+        return 2
+    failures = []
+    for path in argv:
+        failures.extend(check_report(path))
+    if failures:
+        for failure in failures:
+            print(f"runtime-gate: FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"runtime-gate: ok ({len(argv)} report(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
